@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all|fig8|fig9|table1|table2|table3|ablation \
+//	            [-insts 2000000] [-bench 164.gzip,176.gcc] [-serial]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamfetch/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig8, fig9, table1, table2, table3, ablation, dist")
+	insts := flag.Uint64("insts", 2_000_000, "dynamic trace length per benchmark")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
+	serial := flag.Bool("serial", false, "disable parallel simulation")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.TraceInsts = *insts
+	cfg.TrainInsts = *insts
+	cfg.Parallel = !*serial
+	if *benchList != "" {
+		cfg.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	if *exp == "table2" {
+		experiments.Table2(os.Stdout)
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "preparing %s benchmarks (%d instructions each)...\n",
+		benchCount(cfg), cfg.TraceInsts)
+	benches := experiments.Prepare(cfg)
+	fmt.Fprintf(os.Stderr, "prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	switch *exp {
+	case "all":
+		experiments.Table2(os.Stdout)
+		fmt.Println()
+		experiments.Table1(os.Stdout, benches)
+		fmt.Println()
+		experiments.Fig8(os.Stdout, benches, cfg)
+		experiments.Fig9(os.Stdout, benches, cfg)
+		fmt.Println()
+		experiments.Table3(os.Stdout, benches, cfg)
+		fmt.Println()
+		experiments.Ablation(os.Stdout, benches, cfg)
+		fmt.Println()
+		experiments.Distribution(os.Stdout, benches)
+	case "fig8":
+		experiments.Fig8(os.Stdout, benches, cfg)
+	case "fig9":
+		experiments.Fig9(os.Stdout, benches, cfg)
+	case "table1":
+		experiments.Table1(os.Stdout, benches)
+	case "table3":
+		experiments.Table3(os.Stdout, benches, cfg)
+	case "ablation":
+		experiments.Ablation(os.Stdout, benches, cfg)
+	case "dist":
+		experiments.Distribution(os.Stdout, benches)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "\ntotal %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func benchCount(cfg experiments.Config) string {
+	if cfg.Benchmarks == nil {
+		return "11"
+	}
+	return fmt.Sprint(len(cfg.Benchmarks))
+}

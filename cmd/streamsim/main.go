@@ -1,0 +1,84 @@
+// Command streamsim runs one simulation: a benchmark under a layout with a
+// chosen fetch engine and pipe width, printing the full result.
+//
+// Usage:
+//
+//	streamsim -bench 164.gzip -engine streams -width 8 -layout optimized \
+//	          [-insts 2000000] [-trace file.trc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "164.gzip", "benchmark name (see workload.Suite)")
+	engine := flag.String("engine", "streams", "fetch engine: ev8, ftb, streams, tcache")
+	width := flag.Int("width", 8, "pipe width")
+	layoutName := flag.String("layout", "optimized", "code layout: base or optimized")
+	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions to simulate")
+	traceFile := flag.String("trace", "", "replay a saved trace file instead of generating one")
+	flag.Parse()
+
+	params, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog := workload.Generate(params)
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		tr = trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: *insts})
+	}
+
+	var lay *layout.Layout
+	switch *layoutName {
+	case "base":
+		lay = layout.Baseline(prog)
+	case "optimized":
+		prof := trace.CollectProfile(prog, 7, *insts/4)
+		lay = layout.Optimized(prog, prof)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layout %q\n", *layoutName)
+		os.Exit(2)
+	}
+
+	r := sim.Run(lay, tr, sim.Config{Width: *width, Engine: sim.EngineKind(*engine)})
+	fmt.Printf("benchmark      %s (%s layout, %s code size %d KB)\n",
+		*bench, lay.Name, *engine, lay.CodeSize()/1024)
+	fmt.Printf("retired        %d instructions in %d cycles\n", r.Retired, r.Cycles)
+	fmt.Printf("IPC            %.3f\n", r.IPC)
+	fmt.Printf("fetch IPC      %.2f (mean unit %.1f insts, unit predictor hit %.1f%%)\n",
+		r.FetchIPC, r.Fetch.MeanUnitLen(), hitPct(r))
+	fmt.Printf("branches       %d, mispredicted %.2f%%, decode redirects %d\n",
+		r.Branches, 100*r.MispredRate, r.Misfetches)
+	fmt.Printf("I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
+		100*r.ICache.MissRate(), 100*r.DCache.MissRate(), 100*r.L2.MissRate())
+}
+
+func hitPct(r sim.Result) float64 {
+	if r.Fetch.PredictorLookups == 0 {
+		return 0
+	}
+	return 100 * float64(r.Fetch.PredictorHits) / float64(r.Fetch.PredictorLookups)
+}

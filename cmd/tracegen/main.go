@@ -1,0 +1,75 @@
+// Command tracegen generates benchmark traces and writes them in the binary
+// trace format, or inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -bench 164.gzip -insts 2000000 -o gzip.trc
+//	tracegen -inspect gzip.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "164.gzip", "benchmark name")
+	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
+	seed := flag.Uint64("seed", 99, "branch behaviour seed (input selection)")
+	out := flag.String("o", "", "output trace file")
+	inspect := flag.String("inspect", "", "print a summary of an existing trace file")
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace   %s\n", tr.Name)
+		fmt.Printf("blocks  %d\n", len(tr.Blocks))
+		fmt.Printf("insts   %d\n", tr.Insts)
+		if len(tr.Blocks) > 0 {
+			fmt.Printf("mean block length %.2f instructions\n",
+				float64(tr.Insts)/float64(len(tr.Blocks)))
+		}
+		return
+	}
+
+	params, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog := workload.Generate(params)
+	tr := trace.Generate(prog, trace.GenConfig{Seed: *seed, MaxInsts: *insts})
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "missing -o output file")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d blocks, %d instructions\n", *out, len(tr.Blocks), tr.Insts)
+}

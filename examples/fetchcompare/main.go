@@ -1,0 +1,41 @@
+// Fetch architecture comparison on one benchmark: run the EV8, FTB, stream
+// and trace cache front-ends side by side across pipe widths, mirroring the
+// structure of the paper's Figure 8 for a single program.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "176.gcc", "benchmark name")
+	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
+	flag.Parse()
+
+	params, err := workload.ByName(*bench)
+	if err != nil {
+		panic(err)
+	}
+	prog := workload.Generate(params)
+	prof := trace.CollectProfile(prog, 7, *insts/4)
+	lay := layout.Optimized(prog, prof)
+	tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: *insts})
+
+	fmt.Printf("%s, optimized layout, %d instructions\n\n", *bench, tr.Insts)
+	for _, width := range []int{2, 4, 8} {
+		fmt.Printf("%d-wide pipeline:\n", width)
+		fmt.Printf("  %-8s %8s %10s %10s %10s\n", "engine", "IPC", "fetch IPC", "mispred", "unit size")
+		for _, e := range sim.Kinds() {
+			r := sim.Run(lay, tr, sim.Config{Width: width, Engine: e})
+			fmt.Printf("  %-8s %8.3f %10.2f %9.2f%% %10.1f\n",
+				e, r.IPC, r.FetchIPC, 100*r.MispredRate, r.Fetch.MeanUnitLen())
+		}
+		fmt.Println()
+	}
+}

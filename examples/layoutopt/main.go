@@ -1,0 +1,64 @@
+// Layout optimization effects: measure, for each benchmark, how
+// profile-guided code layout changes the conditional taken rate, the mean
+// stream length, and the instruction cache miss rate — the three effects
+// (§2.4) the stream fetch architecture exploits.
+package main
+
+import (
+	"fmt"
+
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%-14s %26s %26s\n", "", "base", "optimized")
+	fmt.Printf("%-14s %8s %8s %8s %8s %8s %8s\n",
+		"benchmark", "takenR", "stream", "ic-miss", "takenR", "stream", "ic-miss")
+	for _, params := range workload.Suite() {
+		prog := workload.Generate(params)
+		prof := trace.CollectProfile(prog, 7, 500_000)
+		tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: 1_000_000})
+		base := layout.Baseline(prog)
+		opt := layout.Optimized(prog, prof)
+
+		bt, bs, bi := measure(base, tr)
+		ot, os_, oi := measure(opt, tr)
+		fmt.Printf("%-14s %7.1f%% %8.1f %7.2f%% %7.1f%% %8.1f %7.2f%%\n",
+			params.Name, 100*bt, bs, 100*bi, 100*ot, os_, 100*oi)
+	}
+}
+
+// measure returns (conditional taken rate, mean stream length, icache miss
+// rate under the stream engine).
+func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen, icMiss float64) {
+	var buf []layout.DynInst
+	var cond, condTaken, insts, taken uint64
+	for i, id := range tr.Blocks {
+		next := cfg.NoBlock
+		if i+1 < len(tr.Blocks) {
+			next = tr.Blocks[i+1]
+		}
+		buf = lay.AppendDyn(buf[:0], id, next)
+		for _, d := range buf {
+			insts++
+			if d.Branch == isa.BranchCond {
+				cond++
+				if d.Taken {
+					condTaken++
+				}
+			}
+			if d.IsBranch() && d.Taken {
+				taken++
+			}
+		}
+	}
+	r := sim.Run(lay, tr, sim.Config{Width: 8, Engine: sim.EngineStreams})
+	return float64(condTaken) / float64(cond),
+		float64(insts) / float64(taken),
+		r.ICache.MissRate()
+}

@@ -1,0 +1,306 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamfetch/internal/isa"
+	"streamfetch/internal/xrand"
+)
+
+func TestTwoBitUpdate(t *testing.T) {
+	c := TwoBit(0)
+	if c.Taken() {
+		t.Fatal("counter 0 predicts taken")
+	}
+	c = c.Update(true).Update(true)
+	if !c.Taken() {
+		t.Fatal("counter after two taken updates predicts not taken")
+	}
+	c = TwoBit(3)
+	if c.Update(true) != 3 {
+		t.Fatal("saturating counter exceeded 3")
+	}
+	c = TwoBit(0)
+	if c.Update(false) != 0 {
+		t.Fatal("saturating counter went below 0")
+	}
+}
+
+func TestTwoBitStrengthen(t *testing.T) {
+	if TwoBit(2).Strengthen() != 3 {
+		t.Fatal("weak taken did not strengthen to 3")
+	}
+	if TwoBit(1).Strengthen() != 0 {
+		t.Fatal("weak not-taken did not strengthen to 0")
+	}
+}
+
+func TestHistPairRecover(t *testing.T) {
+	var h HistPair
+	h.ShiftRet(true)
+	h.ShiftRet(false)
+	h.ShiftSpec(true)
+	h.ShiftSpec(true)
+	h.ShiftSpec(true)
+	if h.Spec == h.Ret {
+		t.Fatal("speculative and retirement history should differ")
+	}
+	h.Recover()
+	if h.Spec != h.Ret {
+		t.Fatal("Recover did not copy retirement history")
+	}
+	if h.Ret != 0b10 {
+		t.Fatalf("retirement history = %b, want 10", h.Ret)
+	}
+}
+
+func TestLocalHistory(t *testing.T) {
+	l := NewLocalHistory(16, 4)
+	pc := uint64(0x1000)
+	l.Update(pc, true)
+	l.Update(pc, false)
+	l.Update(pc, true)
+	if got := l.Get(pc); got != 0b101 {
+		t.Fatalf("local history = %b, want 101", got)
+	}
+	// Width is enforced.
+	for i := 0; i < 10; i++ {
+		l.Update(pc, true)
+	}
+	if got := l.Get(pc); got != 0b1111 {
+		t.Fatalf("local history = %b, want 1111 (4 bits)", got)
+	}
+}
+
+func TestGskewLearnsBias(t *testing.T) {
+	g := NewGskew(GskewConfig{EntriesPerBank: 1 << 12, HistoryBits: 12})
+	pc := uint64(0x4000)
+	correct := 0
+	for i := 0; i < 2000; i++ {
+		p := g.Predict(pc)
+		g.OnPredict(p.Taken)
+		if p.Taken {
+			correct++
+		}
+		g.UpdateAtCommit(pc, true) // always taken
+		g.Hist.Recover()           // keep spec aligned for the test
+	}
+	if correct < 1900 {
+		t.Fatalf("gskew only %d/2000 correct on an always-taken branch", correct)
+	}
+}
+
+func TestGskewLearnsAlternating(t *testing.T) {
+	g := NewGskew(GskewConfig{EntriesPerBank: 1 << 12, HistoryBits: 12})
+	pc := uint64(0x4400)
+	correct := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		p := g.Predict(pc)
+		g.OnPredict(taken) // perfect speculative outcome for the test
+		if p.Taken == taken {
+			correct++
+		}
+		g.UpdateAtCommit(pc, taken)
+	}
+	// The history-indexed banks must capture a TNTN pattern in the
+	// steady state.
+	if correct < 3200 {
+		t.Fatalf("gskew only %d/4000 correct on an alternating branch", correct)
+	}
+}
+
+func TestPerceptronLearnsPattern(t *testing.T) {
+	p := NewPerceptron(PerceptronConfig{
+		Perceptrons: 256, GlobalBits: 16, LocalEntries: 256, LocalBits: 8,
+	})
+	pc := uint64(0x8000)
+	pattern := []bool{true, true, false, true, false, false}
+	correct := 0
+	n := 6000
+	for i := 0; i < n; i++ {
+		taken := pattern[i%len(pattern)]
+		pr := p.Predict(pc)
+		p.OnPredict(taken)
+		if i > n/2 && pr.Taken == taken {
+			correct++
+		}
+		p.UpdateAtCommit(pc, taken)
+	}
+	if correct < (n/2)*80/100 {
+		t.Fatalf("perceptron only %d/%d correct on a periodic branch", correct, n/2)
+	}
+}
+
+func TestBTBLookupUpdate(t *testing.T) {
+	b := NewBTB(64, 4)
+	pc := isa.Addr(0x100)
+	if _, ok := b.Lookup(pc); ok {
+		t.Fatal("empty BTB hit")
+	}
+	b.Update(pc, BTBEntry{Target: 0x2000, Type: isa.BranchCond})
+	e, ok := b.Lookup(pc)
+	if !ok || e.Target != 0x2000 || e.Type != isa.BranchCond {
+		t.Fatalf("BTB entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestBTBEvictsLRU(t *testing.T) {
+	b := NewBTB(4, 4) // one set
+	for i := 0; i < 5; i++ {
+		b.Update(isa.Addr(0x100+16*i), BTBEntry{Target: isa.Addr(i)})
+	}
+	if _, ok := b.Probe(0x100); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := b.Probe(0x140); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestFTBSplitsBlocks(t *testing.T) {
+	f := NewFTB(64, 4, 32)
+	start := isa.Addr(0x1000)
+	// Learn a long block, then a taken branch inside it.
+	f.Update(start, FTBEntry{Len: 10, Type: isa.BranchCond, Target: 0x4000})
+	f.Update(start, FTBEntry{Len: 4, Type: isa.BranchCond, Target: 0x3000})
+	e, ok := f.Lookup(start)
+	if !ok {
+		t.Fatal("FTB miss after update")
+	}
+	if e.Len != 4 || e.Target != 0x3000 {
+		t.Fatalf("block not split: %+v", e)
+	}
+	// A longer observation must NOT re-extend the split block.
+	f.Update(start, FTBEntry{Len: 10, Type: isa.BranchCond, Target: 0x4000})
+	e, _ = f.Lookup(start)
+	if e.Len != 4 {
+		t.Fatalf("split block re-extended to %d", e.Len)
+	}
+}
+
+func TestFTBLengthCap(t *testing.T) {
+	f := NewFTB(64, 4, 8)
+	f.Update(0x1000, FTBEntry{Len: 20, Type: isa.BranchCond, Target: 0x4000})
+	e, ok := f.Lookup(0x1000)
+	if !ok || e.Len != 8 || e.Type != isa.BranchNone {
+		t.Fatalf("capped entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(0x100)
+	r.Push(0x200)
+	if got := r.Pop(); got != 0x200 {
+		t.Fatalf("Pop = %v, want 0x200", got)
+	}
+	if got := r.Pop(); got != 0x100 {
+		t.Fatalf("Pop = %v, want 0x100", got)
+	}
+}
+
+func TestRASWrapsAround(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if got := r.Pop(); got != 3 {
+		t.Fatalf("Pop = %v, want 3", got)
+	}
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("Pop = %v, want 2", got)
+	}
+	if got := r.Pop(); got != 3 {
+		t.Fatalf("wrapped Pop = %v, want 3 (circular stack)", got)
+	}
+}
+
+func TestRASSaveRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(0x10)
+	r.Push(0x20)
+	cp := r.Save()
+	r.Push(0x30) // wrong path
+	r.Pop()
+	r.Pop()
+	r.Restore(cp)
+	if got := r.Pop(); got != 0x20 {
+		t.Fatalf("after restore Pop = %v, want 0x20", got)
+	}
+}
+
+func TestRASCopyFrom(t *testing.T) {
+	a, b := NewRAS(4), NewRAS(4)
+	a.Push(0x1)
+	a.Push(0x2)
+	b.CopyFrom(a)
+	if got := b.Pop(); got != 0x2 {
+		t.Fatalf("copied Pop = %v, want 0x2", got)
+	}
+	// The copy is independent.
+	a.Push(0x9)
+	if got := b.Pop(); got != 0x1 {
+		t.Fatalf("copied stack shares state: Pop = %v, want 0x1", got)
+	}
+}
+
+func TestDOLCDeterministic(t *testing.T) {
+	d := DOLC{Depth: 4, Older: 2, Last: 4, Current: 8}
+	h1 := NewPathHist(4)
+	h2 := NewPathHist(4)
+	for _, v := range []uint64{0x100, 0x200, 0x300} {
+		h1.Push(v)
+		h2.Push(v)
+	}
+	if d.Hash(h1, 0x400, 10) != d.Hash(h2, 0x400, 10) {
+		t.Fatal("identical paths hash differently")
+	}
+}
+
+func TestDOLCPathSensitivity(t *testing.T) {
+	d := DOLC{Depth: 8, Older: 4, Last: 6, Current: 10}
+	h1 := NewPathHist(8)
+	h2 := NewPathHist(8)
+	for i := 0; i < 8; i++ {
+		h1.Push(0x1000)
+		h2.Push(0x1000)
+	}
+	h2.Push(0x2000) // one differing element
+	if d.Hash(h1, 0x400, 11) == d.Hash(h2, 0x400, 11) {
+		t.Fatal("paths differing in one element collide (weak hash)")
+	}
+}
+
+func TestDOLCIndexWidth(t *testing.T) {
+	d := DOLC{Depth: 12, Older: 2, Last: 4, Current: 10}
+	h := NewPathHist(12)
+	rng := xrand.New(5)
+	f := func(cur uint64) bool {
+		h.Push(rng.Uint64())
+		return d.Hash(h, cur, 11) < (1 << 11)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathHistCopyAndAt(t *testing.T) {
+	h := NewPathHist(3)
+	h.Push(1)
+	h.Push(2)
+	h.Push(3)
+	if h.At(0) != 3 || h.At(1) != 2 || h.At(2) != 1 {
+		t.Fatalf("At order wrong: %d %d %d", h.At(0), h.At(1), h.At(2))
+	}
+	h.Push(4) // evicts 1
+	if h.At(2) != 2 {
+		t.Fatalf("ring eviction wrong: At(2)=%d", h.At(2))
+	}
+	c := h.Clone()
+	h.Push(9)
+	if c.At(0) != 4 {
+		t.Fatal("clone shares state with original")
+	}
+}

@@ -1,0 +1,257 @@
+// Branch target buffers: the classic BTB (one entry per branch) and the
+// Fetch Target Buffer (Reinman, Austin & Calder, ISCA 1999), which stores
+// variable-length fetch blocks that embed strongly-biased not-taken
+// branches and end at a branch that has been taken at least once.
+package bpred
+
+import "streamfetch/internal/isa"
+
+// BTBEntry is one branch target entry. Ctr is an optional 2-bit direction
+// counter used when the BTB doubles as a simple direction predictor (the
+// trace cache's backup path).
+type BTBEntry struct {
+	Target isa.Addr
+	Type   isa.BranchType
+	Ctr    TwoBit
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets  [][]btbWay
+	mask  uint64
+	clock uint64
+	// stats
+	lookups, hits uint64
+}
+
+type btbWay struct {
+	tag   uint64
+	valid bool
+	stamp uint64
+	e     BTBEntry
+}
+
+// NewBTB builds a BTB with the given entry count and associativity.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("bpred: bad BTB geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("bpred: BTB set count must be a power of two")
+	}
+	b := &BTB{sets: make([][]btbWay, nsets), mask: uint64(nsets - 1)}
+	for i := range b.sets {
+		b.sets[i] = make([]btbWay, ways)
+	}
+	return b
+}
+
+func (b *BTB) index(pc isa.Addr) (set, tag uint64) {
+	x := uint64(pc) >> 2
+	return x & b.mask, x >> 0
+}
+
+// Lookup returns the entry for branch pc, if present.
+func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
+	b.lookups++
+	set, tag := b.index(pc)
+	s := b.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			b.clock++
+			s[i].stamp = b.clock
+			b.hits++
+			return s[i].e, true
+		}
+	}
+	return BTBEntry{}, false
+}
+
+// Probe returns the entry for branch pc without touching LRU state or
+// statistics.
+func (b *BTB) Probe(pc isa.Addr) (BTBEntry, bool) {
+	set, tag := b.index(pc)
+	for _, w := range b.sets[set] {
+		if w.valid && w.tag == tag {
+			return w.e, true
+		}
+	}
+	return BTBEntry{}, false
+}
+
+// Update inserts or refreshes the entry for branch pc.
+func (b *BTB) Update(pc isa.Addr, e BTBEntry) {
+	set, tag := b.index(pc)
+	s := b.sets[set]
+	b.clock++
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].e = e
+			s[i].stamp = b.clock
+			return
+		}
+	}
+	v := 0
+	for i := 1; i < len(s); i++ {
+		if !s[i].valid {
+			v = i
+			break
+		}
+		if s[i].stamp < s[v].stamp {
+			v = i
+		}
+	}
+	s[v] = btbWay{tag: tag, valid: true, stamp: b.clock, e: e}
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// FTBEntry describes a variable-length fetch block: instructions from Start
+// for Len slots, terminated by a branch of the given type whose taken
+// target is Target. The fall-through address is Start + 4*Len.
+type FTBEntry struct {
+	Len    int
+	Type   isa.BranchType
+	Target isa.Addr
+}
+
+// BranchPC returns the address of the block-terminating branch.
+func (e FTBEntry) BranchPC(start isa.Addr) isa.Addr {
+	return start.Plus(e.Len - 1)
+}
+
+// FallThrough returns the address following the block.
+func (e FTBEntry) FallThrough(start isa.Addr) isa.Addr {
+	return start.Plus(e.Len)
+}
+
+// FTB is a set-associative fetch target buffer keyed by fetch block start
+// address. Table 2 uses 2048 entries, 4-way.
+type FTB struct {
+	sets  [][]ftbWay
+	mask  uint64
+	clock uint64
+	// MaxLen caps stored block lengths (fetch-width field size).
+	MaxLen int
+
+	lookups, hits uint64
+}
+
+type ftbWay struct {
+	tag   uint64
+	valid bool
+	stamp uint64
+	e     FTBEntry
+}
+
+// NewFTB builds an FTB.
+func NewFTB(entries, ways, maxLen int) *FTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("bpred: bad FTB geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("bpred: FTB set count must be a power of two")
+	}
+	f := &FTB{sets: make([][]ftbWay, nsets), mask: uint64(nsets - 1), MaxLen: maxLen}
+	for i := range f.sets {
+		f.sets[i] = make([]ftbWay, ways)
+	}
+	return f
+}
+
+func (f *FTB) index(start isa.Addr) (set, tag uint64) {
+	x := uint64(start) >> 2
+	return x & f.mask, x >> 0
+}
+
+// Lookup returns the fetch block starting at start, if known.
+func (f *FTB) Lookup(start isa.Addr) (FTBEntry, bool) {
+	f.lookups++
+	set, tag := f.index(start)
+	s := f.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			f.clock++
+			s[i].stamp = f.clock
+			f.hits++
+			return s[i].e, true
+		}
+	}
+	return FTBEntry{}, false
+}
+
+// Update learns that the block starting at start ends with a taken branch
+// Len slots in, jumping to target. An existing longer block is split (the
+// FTB does not store overlapping blocks); an existing shorter block is left
+// to its own terminator unless the terminator address matches, in which case
+// the target is refreshed.
+func (f *FTB) Update(start isa.Addr, e FTBEntry) {
+	if e.Len > f.MaxLen {
+		// Blocks longer than the length field are truncated; the tail
+		// will be re-requested as a separate block at fetch time.
+		e.Len = f.MaxLen
+		e.Type = isa.BranchNone
+		e.Target = 0
+	}
+	set, tag := f.index(start)
+	s := f.sets[set]
+	f.clock++
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			old := &s[i].e
+			switch {
+			case e.Len < old.Len:
+				// A taken branch appeared inside the stored block:
+				// split by shrinking to the new terminator.
+				*old = e
+			case e.Len == old.Len:
+				*old = e // refresh target/type (indirects move)
+			default:
+				// The stored terminator was not taken this time;
+				// keep the shorter block (it still ends at a
+				// branch that has been taken before).
+			}
+			s[i].stamp = f.clock
+			return
+		}
+	}
+	v := 0
+	for i := 1; i < len(s); i++ {
+		if !s[i].valid {
+			v = i
+			break
+		}
+		if s[i].stamp < s[v].stamp {
+			v = i
+		}
+	}
+	s[v] = ftbWay{tag: tag, valid: true, stamp: f.clock, e: e}
+}
+
+// Probe returns the block starting at start without touching LRU state or
+// statistics (used by commit-side block tracking).
+func (f *FTB) Probe(start isa.Addr) (FTBEntry, bool) {
+	set, tag := f.index(start)
+	for _, w := range f.sets[set] {
+		if w.valid && w.tag == tag {
+			return w.e, true
+		}
+	}
+	return FTBEntry{}, false
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (f *FTB) HitRate() float64 {
+	if f.lookups == 0 {
+		return 0
+	}
+	return float64(f.hits) / float64(f.lookups)
+}

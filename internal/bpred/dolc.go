@@ -1,0 +1,97 @@
+// DOLC path hashing (Depth, Older, Last, Current), the path-history index
+// function of the multiscalar control-flow speculation work (Jacobson et
+// al.), used by both the next stream predictor (12-2-4-10 per Table 2) and
+// the next trace predictor (9-4-7-9).
+package bpred
+
+// DOLC describes a path hash: Depth previous addresses contribute Older bits
+// each, except the most recent which contributes Last bits; the current
+// address contributes Current bits. The concatenation is XOR-folded to the
+// requested index width.
+type DOLC struct {
+	Depth   int
+	Older   uint
+	Last    uint
+	Current uint
+}
+
+// PathHist is a ring of the most recent path elements (newest first is
+// logical order; stored as a ring).
+type PathHist struct {
+	ring []uint64
+	pos  int
+}
+
+// NewPathHist returns a path history holding depth elements.
+func NewPathHist(depth int) *PathHist {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &PathHist{ring: make([]uint64, depth)}
+}
+
+// Push records a new path element (e.g. a stream start address).
+func (p *PathHist) Push(v uint64) {
+	p.pos = (p.pos + 1) % len(p.ring)
+	p.ring[p.pos] = v
+}
+
+// At returns the i-th most recent element (0 = newest).
+func (p *PathHist) At(i int) uint64 {
+	n := len(p.ring)
+	return p.ring[((p.pos-i)%n+n)%n]
+}
+
+// Len returns the history depth.
+func (p *PathHist) Len() int { return len(p.ring) }
+
+// CopyFrom overwrites p with src (misprediction recovery).
+func (p *PathHist) CopyFrom(src *PathHist) {
+	copy(p.ring, src.ring)
+	p.pos = src.pos
+}
+
+// Clone returns an independent copy.
+func (p *PathHist) Clone() *PathHist {
+	q := &PathHist{ring: make([]uint64, len(p.ring)), pos: p.pos}
+	copy(q.ring, p.ring)
+	return q
+}
+
+// Hash folds the path history and current address into an index of
+// indexBits bits. Each element is mixed before its DOLC bit quota is
+// extracted, and contributions are chained order-sensitively; hardware
+// selects raw low bits instead, which works because real addresses carry
+// low-bit entropy — the mixed version behaves identically for well-spread
+// addresses and avoids pathological collisions on aligned ones.
+func (d DOLC) Hash(hist *PathHist, current uint64, indexBits uint) uint64 {
+	var acc uint64 = 0xcbf29ce484222325
+	var n uint
+	put := func(v uint64, bits uint) {
+		v *= 0x9e3779b97f4a7c15 // spread entropy across all bits
+		v ^= v >> 29
+		v &= (1 << bits) - 1
+		acc = (acc ^ v) * 0x100000001b3 // order-sensitive chaining
+		n += bits
+	}
+	put(current>>2, d.Current)
+	depth := d.Depth
+	if depth > hist.Len() {
+		depth = hist.Len()
+	}
+	if depth > 0 {
+		put(hist.At(0)>>2, d.Last)
+		for i := 1; i < depth; i++ {
+			put(hist.At(i)>>2, d.Older)
+		}
+	}
+	// Fold to the index width.
+	mask := uint64(1)<<indexBits - 1
+	out := acc & mask
+	acc >>= indexBits
+	for acc != 0 {
+		out ^= acc & mask
+		acc >>= indexBits
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// The 2bcgskew predictor of the Alpha EV8 (Seznec, Felix, Krishnan,
+// Sazeides, ISCA 2002): four 2-bit banks — a bimodal bank BIM, two
+// history-hashed banks G0/G1 with different history lengths, and a
+// meta bank choosing between the bimodal prediction and the e-gskew
+// majority vote — with the partial update policy.
+package bpred
+
+// GskewConfig sizes the 2bcgskew predictor. Table 2 of the paper uses
+// 4 x 32K-entry tables and 15 bits of history.
+type GskewConfig struct {
+	// EntriesPerBank is the number of 2-bit counters per bank (power of
+	// two).
+	EntriesPerBank int
+	// HistoryBits is the global history length used by G1; G0 uses about
+	// half.
+	HistoryBits uint
+}
+
+// DefaultGskewConfig returns the Table-2 EV8 configuration.
+func DefaultGskewConfig() GskewConfig {
+	return GskewConfig{EntriesPerBank: 32 << 10, HistoryBits: 15}
+}
+
+// Gskew is a 2bcgskew conditional branch direction predictor.
+type Gskew struct {
+	cfg  GskewConfig
+	bim  []TwoBit
+	g0   []TwoBit
+	g1   []TwoBit
+	meta []TwoBit
+	mask uint64
+	h0   uint // short history length for G0
+	Hist HistPair
+}
+
+// NewGskew builds the predictor.
+func NewGskew(cfg GskewConfig) *Gskew {
+	n := cfg.EntriesPerBank
+	if n <= 0 || n&(n-1) != 0 {
+		panic("bpred: gskew entries must be a positive power of two")
+	}
+	if cfg.HistoryBits == 0 || cfg.HistoryBits > 32 {
+		panic("bpred: gskew history bits must be in 1..32")
+	}
+	g := &Gskew{
+		cfg:  cfg,
+		bim:  make([]TwoBit, n),
+		g0:   make([]TwoBit, n),
+		g1:   make([]TwoBit, n),
+		meta: make([]TwoBit, n),
+		mask: uint64(n - 1),
+		h0:   cfg.HistoryBits / 2,
+	}
+	// Initialize weakly taken-biased bimodal? Conventionally weakly not
+	// taken (0..3 start at 0). Start weakly not-taken (1) so cold
+	// branches move quickly either way.
+	for i := range g.bim {
+		g.bim[i] = 1
+		g.g0[i] = 1
+		g.g1[i] = 1
+		g.meta[i] = 1
+	}
+	return g
+}
+
+// skewHash mixes pc and history with a bank-specific rotation, a software
+// stand-in for the H/H^-1 skewing functions of the e-gskew design.
+func (g *Gskew) skewHash(pc, hist uint64, bank uint) uint64 {
+	x := (pc >> 2) ^ (hist << 1) ^ (hist >> (3 + bank)) ^ (pc >> (7 + 2*bank))
+	x *= 0x9e3779b97f4a7c15
+	return (x >> (13 + bank)) & g.mask
+}
+
+func (g *Gskew) indices(pc uint64, hist uint64) (ib, i0, i1, im uint64) {
+	hist0 := hist & ((1 << g.h0) - 1)
+	hist1 := hist & ((1 << g.cfg.HistoryBits) - 1)
+	ib = (pc >> 2) & g.mask
+	i0 = g.skewHash(pc, hist0, 0)
+	i1 = g.skewHash(pc, hist1, 1)
+	im = g.skewHash(pc, hist1, 2)
+	return
+}
+
+// GskewPred carries the per-component votes of one prediction; the engine
+// passes it back at update time so the partial update policy can be applied
+// against the same table state.
+type GskewPred struct {
+	Taken bool
+	bim   bool
+	g0    bool
+	g1    bool
+	meta  bool // true = use majority
+	hist  uint64
+}
+
+// Predict returns the direction prediction for branch pc using the
+// speculative history. The caller must then invoke OnPredict to record the
+// predicted outcome into the speculative history.
+func (g *Gskew) Predict(pc uint64) GskewPred {
+	return g.predictWith(pc, g.Hist.Spec)
+}
+
+func (g *Gskew) predictWith(pc, hist uint64) GskewPred {
+	ib, i0, i1, im := g.indices(pc, hist)
+	p := GskewPred{
+		bim:  g.bim[ib].Taken(),
+		g0:   g.g0[i0].Taken(),
+		g1:   g.g1[i1].Taken(),
+		meta: g.meta[im].Taken(),
+		hist: hist,
+	}
+	maj := majority(p.bim, p.g0, p.g1)
+	if p.meta {
+		p.Taken = maj
+	} else {
+		p.Taken = p.bim
+	}
+	return p
+}
+
+// OnPredict shifts the predicted direction into the speculative history.
+func (g *Gskew) OnPredict(taken bool) { g.Hist.ShiftSpec(taken) }
+
+// Update applies the committed outcome for branch pc predicted as p,
+// following the 2bcgskew partial update policy, and shifts the retirement
+// history.
+func (g *Gskew) Update(pc uint64, p GskewPred, taken bool) {
+	ib, i0, i1, im := g.indices(pc, p.hist)
+	maj := majority(p.bim, p.g0, p.g1)
+	correct := p.Taken == taken
+
+	// Meta learns which component to trust whenever they disagree.
+	if p.bim != maj {
+		g.meta[im] = g.meta[im].Update(maj == taken)
+	}
+	if correct {
+		// Partial update: strengthen only the banks that agreed with
+		// the outcome, and only those participating in the prediction.
+		if p.meta {
+			if p.bim == taken {
+				g.bim[ib] = g.bim[ib].Strengthen()
+			}
+			if p.g0 == taken {
+				g.g0[i0] = g.g0[i0].Strengthen()
+			}
+			if p.g1 == taken {
+				g.g1[i1] = g.g1[i1].Strengthen()
+			}
+		} else if p.bim == taken {
+			g.bim[ib] = g.bim[ib].Strengthen()
+		}
+	} else {
+		// On a misprediction all banks learn the outcome.
+		g.bim[ib] = g.bim[ib].Update(taken)
+		g.g0[i0] = g.g0[i0].Update(taken)
+		g.g1[i1] = g.g1[i1].Update(taken)
+	}
+	g.Hist.ShiftRet(taken)
+}
+
+// UpdateAtCommit trains the predictor at retirement using the update
+// (retirement) history register, re-reading the tables to apply the partial
+// update policy against current counter state. This is the paper's
+// commit-time update discipline (§3.2's dual-register scheme).
+func (g *Gskew) UpdateAtCommit(pc uint64, taken bool) {
+	p := g.predictWith(pc, g.Hist.Ret)
+	g.Update(pc, p, taken)
+}
+
+// Recover restores the speculative history after a misprediction.
+func (g *Gskew) Recover() { g.Hist.Recover() }
+
+func majority(a, b, c bool) bool {
+	n := 0
+	if a {
+		n++
+	}
+	if b {
+		n++
+	}
+	if c {
+		n++
+	}
+	return n >= 2
+}
+
+// StorageBits returns the predictor's storage budget in bits.
+func (g *Gskew) StorageBits() int {
+	return 4 * g.cfg.EntriesPerBank * 2
+}

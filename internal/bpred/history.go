@@ -1,0 +1,117 @@
+// Package bpred implements the branch prediction machinery used by the four
+// simulated front-ends: saturating counters, speculative/retirement history
+// registers, the EV8 2bcgskew predictor, the perceptron predictor, BTB and
+// FTB target buffers, the return address stack, and the DOLC path hash used
+// by the stream and trace predictors.
+package bpred
+
+// HistPair models the paper's dual history registers (§3.2): a lookup
+// register updated speculatively at prediction time and an update register
+// maintained at commit with correct-path outcomes only. On a misprediction
+// the retired register is copied over the speculative one.
+type HistPair struct {
+	// Spec is the speculative (lookup) history; newest outcome in bit 0.
+	Spec uint64
+	// Ret is the retirement (update) history.
+	Ret uint64
+}
+
+// ShiftSpec records a predicted outcome into the speculative history.
+func (h *HistPair) ShiftSpec(taken bool) {
+	h.Spec = shift(h.Spec, taken)
+}
+
+// ShiftRet records a committed outcome into the retirement history.
+func (h *HistPair) ShiftRet(taken bool) {
+	h.Ret = shift(h.Ret, taken)
+}
+
+// Recover restores the speculative history from the retirement copy,
+// discarding wrong-path pollution.
+func (h *HistPair) Recover() { h.Spec = h.Ret }
+
+func shift(h uint64, taken bool) uint64 {
+	h <<= 1
+	if taken {
+		h |= 1
+	}
+	return h
+}
+
+// TwoBit is a 2-bit saturating counter. Values 0..1 predict not taken,
+// 2..3 predict taken.
+type TwoBit uint8
+
+// Taken reports the counter's prediction.
+func (c TwoBit) Taken() bool { return c >= 2 }
+
+// Strong reports whether the counter is saturated in its current direction.
+func (c TwoBit) Strong() bool { return c == 0 || c == 3 }
+
+// Update moves the counter toward the outcome.
+func (c TwoBit) Update(taken bool) TwoBit {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Strengthen saturates the counter in its current direction (2bcgskew
+// partial update).
+func (c TwoBit) Strengthen() TwoBit {
+	if c.Taken() {
+		return 3
+	}
+	return 0
+}
+
+// LocalHistory is a table of per-branch history registers, as used by the
+// perceptron predictor's local component. Histories are updated at commit.
+type LocalHistory struct {
+	table []uint32
+	mask  uint32
+	bits  uint
+}
+
+// NewLocalHistory builds a table with entries (power of two) histories of
+// the given bit width.
+func NewLocalHistory(entries int, bits uint) *LocalHistory {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: local history entries must be a positive power of two")
+	}
+	if bits == 0 || bits > 32 {
+		panic("bpred: local history bits must be in 1..32")
+	}
+	return &LocalHistory{
+		table: make([]uint32, entries),
+		mask:  uint32(entries - 1),
+		bits:  bits,
+	}
+}
+
+func (l *LocalHistory) idx(pc uint64) uint32 {
+	return uint32(pc>>2) & l.mask
+}
+
+// Get returns the local history for branch pc.
+func (l *LocalHistory) Get(pc uint64) uint32 {
+	return l.table[l.idx(pc)] & ((1 << l.bits) - 1)
+}
+
+// Update shifts outcome into the history of branch pc.
+func (l *LocalHistory) Update(pc uint64, taken bool) {
+	h := l.table[l.idx(pc)] << 1
+	if taken {
+		h |= 1
+	}
+	l.table[l.idx(pc)] = h & ((1 << l.bits) - 1)
+}
+
+// Bits returns the history width.
+func (l *LocalHistory) Bits() uint { return l.bits }

@@ -1,0 +1,415 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): the fetch-unit comparison (Table 1), the processor setup
+// (Table 2), IPC across pipe widths and layouts (Figure 8), per-benchmark
+// IPC (Figure 9), and misprediction rate / fetch IPC (Table 3).
+//
+// Absolute numbers differ from the paper (synthetic workloads, simplified
+// back-end); the harness exists to reproduce the *shape*: which engine wins,
+// by roughly what factor, and how code layout optimization shifts the
+// comparison. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/core"
+	"streamfetch/internal/frontend"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/stats"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// TraceInsts is the dynamic trace length per benchmark (the paper
+	// uses 300M; the default here is laptop-scale).
+	TraceInsts uint64
+	// TrainInsts is the profiling run length for layout optimization.
+	TrainInsts uint64
+	// RefSeed and TrainSeed pick the simulated "inputs".
+	RefSeed, TrainSeed uint64
+	// Benchmarks restricts the suite (nil = all 11).
+	Benchmarks []string
+	// Parallel runs benchmarks concurrently.
+	Parallel bool
+}
+
+// DefaultConfig returns a configuration that completes in minutes.
+func DefaultConfig() Config {
+	return Config{
+		TraceInsts: 2_000_000,
+		TrainInsts: 2_000_000,
+		RefSeed:    99,
+		TrainSeed:  7,
+		Parallel:   true,
+	}
+}
+
+// Bench bundles one prepared benchmark: program, layouts and trace.
+type Bench struct {
+	Name string
+	Prog *cfg.Program
+	Base *layout.Layout
+	Opt  *layout.Layout
+	Ref  *trace.Trace
+}
+
+// Prepare synthesizes the benchmark set: generate programs, profile with the
+// train input, build both layouts, and generate the ref trace.
+func Prepare(c Config) []Bench {
+	params := workload.Suite()
+	if c.Benchmarks != nil {
+		var sel []workload.Params
+		for _, name := range c.Benchmarks {
+			p, err := workload.ByName(name)
+			if err != nil {
+				panic(err)
+			}
+			sel = append(sel, p)
+		}
+		params = sel
+	}
+	out := make([]Bench, len(params))
+	run := func(i int) {
+		p := params[i]
+		prog := workload.Generate(p)
+		prof := trace.CollectProfile(prog, c.TrainSeed, c.TrainInsts)
+		out[i] = Bench{
+			Name: p.Name,
+			Prog: prog,
+			Base: layout.Baseline(prog),
+			Opt:  layout.Optimized(prog, prof),
+			Ref:  trace.Generate(prog, trace.GenConfig{Seed: c.RefSeed, MaxInsts: c.TraceInsts}),
+		}
+	}
+	forEach(len(params), c.Parallel, run)
+	return out
+}
+
+func forEach(n int, parallel bool, f func(i int)) {
+	if !parallel {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Cell is one simulation outcome within a sweep.
+type Cell struct {
+	Bench  string
+	Layout string
+	Result sim.Result
+}
+
+// Sweep runs every (benchmark, layout, engine) combination at one width.
+func Sweep(benches []Bench, width int, layouts []string, engines []sim.EngineKind, parallel bool) []Cell {
+	type job struct {
+		b      Bench
+		layout string
+		engine sim.EngineKind
+	}
+	var jobs []job
+	for _, b := range benches {
+		for _, l := range layouts {
+			for _, e := range engines {
+				jobs = append(jobs, job{b, l, e})
+			}
+		}
+	}
+	cells := make([]Cell, len(jobs))
+	forEach(len(jobs), parallel, func(i int) {
+		j := jobs[i]
+		lay := j.b.Base
+		if j.layout == "optimized" {
+			lay = j.b.Opt
+		}
+		res := sim.Run(lay, j.b.Ref, sim.Config{Width: width, Engine: j.engine})
+		cells[i] = Cell{Bench: j.b.Name, Layout: j.layout, Result: res}
+	})
+	return cells
+}
+
+// HarmonicIPC aggregates the harmonic-mean IPC per (layout, engine) over the
+// suite, as the paper reports.
+func HarmonicIPC(cells []Cell) map[[2]string]float64 {
+	group := map[[2]string][]float64{}
+	for _, c := range cells {
+		k := [2]string{c.Layout, string(c.Result.Engine)}
+		group[k] = append(group[k], c.Result.IPC)
+	}
+	out := map[[2]string]float64{}
+	for k, v := range group {
+		out[k] = stats.HarmonicMean(v)
+	}
+	return out
+}
+
+// Fig8 runs Figure 8: IPC for 2-, 4- and 8-wide pipelines, base and
+// optimized layouts, all four engines, and writes the three sub-figures.
+func Fig8(w io.Writer, benches []Bench, c Config) {
+	for _, width := range []int{2, 4, 8} {
+		fmt.Fprintf(w, "Figure 8: IPC, %d-wide processor (harmonic mean over %d benchmarks)\n",
+			width, len(benches))
+		cells := Sweep(benches, width, []string{"base", "optimized"}, sim.Kinds(), c.Parallel)
+		h := HarmonicIPC(cells)
+		fmt.Fprintf(w, "  %-22s %10s %10s\n", "engine", "base", "optimized")
+		for _, e := range sim.Kinds() {
+			fmt.Fprintf(w, "  %-22s %10.3f %10.3f\n", engineLabel(e),
+				h[[2]string{"base", string(e)}], h[[2]string{"optimized", string(e)}])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig9 runs Figure 9: per-benchmark IPC for the 8-wide processor with
+// optimized layouts.
+func Fig9(w io.Writer, benches []Bench, c Config) {
+	fmt.Fprintln(w, "Figure 9: individual IPC, 8-wide processor, optimized codes")
+	cells := Sweep(benches, 8, []string{"optimized"}, sim.Kinds(), c.Parallel)
+	byBench := map[string]map[sim.EngineKind]float64{}
+	for _, cell := range cells {
+		if byBench[cell.Bench] == nil {
+			byBench[cell.Bench] = map[sim.EngineKind]float64{}
+		}
+		byBench[cell.Bench][cell.Result.Engine] = cell.Result.IPC
+	}
+	names := make([]string, 0, len(byBench))
+	for n := range byBench {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "  %-14s %8s %8s %8s %8s\n", "benchmark", "ev8", "ftb", "streams", "tcache")
+	perEngine := map[sim.EngineKind][]float64{}
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-14s %8.3f %8.3f %8.3f %8.3f\n", n,
+			byBench[n][sim.EngineEV8], byBench[n][sim.EngineFTB],
+			byBench[n][sim.EngineStreams], byBench[n][sim.EngineTraceCache])
+		for _, e := range sim.Kinds() {
+			perEngine[e] = append(perEngine[e], byBench[n][e])
+		}
+	}
+	fmt.Fprintf(w, "  %-14s %8.3f %8.3f %8.3f %8.3f\n", "Hmean",
+		stats.HarmonicMean(perEngine[sim.EngineEV8]), stats.HarmonicMean(perEngine[sim.EngineFTB]),
+		stats.HarmonicMean(perEngine[sim.EngineStreams]), stats.HarmonicMean(perEngine[sim.EngineTraceCache]))
+}
+
+// Table3 runs Table 3: branch misprediction rate and fetch IPC for the
+// 8-wide processor, base and optimized layouts.
+func Table3(w io.Writer, benches []Bench, c Config) {
+	fmt.Fprintln(w, "Table 3: misprediction rate and fetch IPC, 8-wide processor")
+	fmt.Fprintf(w, "  %-22s %23s %23s\n", "", "base", "optimized")
+	fmt.Fprintf(w, "  %-22s %10s %12s %10s %12s\n", "engine", "mispred", "fetch IPC", "mispred", "fetch IPC")
+	for _, e := range sim.Kinds() {
+		row := map[string][2]float64{}
+		for _, l := range []string{"base", "optimized"} {
+			cells := Sweep(benches, 8, []string{l}, []sim.EngineKind{e}, c.Parallel)
+			var mp, fi []float64
+			for _, cell := range cells {
+				mp = append(mp, cell.Result.MispredRate)
+				fi = append(fi, cell.Result.FetchIPC)
+			}
+			row[l] = [2]float64{stats.Mean(mp), stats.HarmonicMean(fi)}
+		}
+		fmt.Fprintf(w, "  %-22s %9.2f%% %12.2f %9.2f%% %12.2f\n", engineLabel(e),
+			100*row["base"][0], row["base"][1], 100*row["optimized"][0], row["optimized"][1])
+	}
+}
+
+// Table1 measures the fetch-unit size comparison of Table 1: mean dynamic
+// basic block, FTB block, stream, and trace lengths on optimized layouts.
+func Table1(w io.Writer, benches []Bench) {
+	fmt.Fprintln(w, "Table 1: mean fetch-unit sizes (dynamic, optimized layouts)")
+	var bb, st, tr []float64
+	for _, b := range benches {
+		u := UnitSizes(b.Prog, b.Opt, b.Ref)
+		bb = append(bb, u.BasicBlock)
+		st = append(st, u.Stream)
+		tr = append(tr, u.Trace)
+	}
+	fmt.Fprintf(w, "  %-22s %10s %10s\n", "unit", "size", "paper")
+	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "basic block", stats.Mean(bb), "5-6")
+	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "trace (16-inst cap)", stats.Mean(tr), "~14")
+	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "stream", stats.Mean(st), "20+")
+}
+
+// Units reports the mean dynamic fetch-unit sizes of one benchmark.
+type Units struct {
+	BasicBlock float64
+	Stream     float64
+	Trace      float64
+}
+
+// UnitSizes computes Table-1 style unit sizes for one benchmark.
+func UnitSizes(prog *cfg.Program, lay *layout.Layout, tr *trace.Trace) Units {
+	var insts, blocks, streams, traces uint64
+	var buf []layout.DynInst
+	var curTrace, curTraceCond int
+	for i, id := range tr.Blocks {
+		next := cfg.NoBlock
+		if i+1 < len(tr.Blocks) {
+			next = tr.Blocks[i+1]
+		}
+		buf = lay.AppendDyn(buf[:0], id, next)
+		blocks++
+		for _, d := range buf {
+			insts++
+			curTrace++
+			taken := d.IsBranch() && d.Taken
+			if taken {
+				streams++
+			}
+			if d.Branch == isa.BranchCond {
+				curTraceCond++
+			}
+			if curTrace >= 16 || curTraceCond >= 3 || d.Branch.IsIndirect() || d.Branch.IsReturn() {
+				traces++
+				curTrace, curTraceCond = 0, 0
+			}
+		}
+	}
+	u := Units{}
+	if blocks > 0 {
+		u.BasicBlock = float64(insts) / float64(blocks)
+	}
+	if streams > 0 {
+		u.Stream = float64(insts) / float64(streams)
+	}
+	if traces > 0 {
+		u.Trace = float64(insts) / float64(traces)
+	}
+	return u
+}
+
+// StreamLengths computes the dynamic stream length distribution of one
+// benchmark under a layout (the property study of the authors' stream
+// front-end report: streams are long, especially in optimized codes).
+func StreamLengths(lay *layout.Layout, tr *trace.Trace) *stats.Histogram {
+	h := stats.NewHistogram()
+	var buf []layout.DynInst
+	run := 0
+	for i, id := range tr.Blocks {
+		next := cfg.NoBlock
+		if i+1 < len(tr.Blocks) {
+			next = tr.Blocks[i+1]
+		}
+		buf = lay.AppendDyn(buf[:0], id, next)
+		for _, d := range buf {
+			run++
+			if d.IsBranch() && d.Taken {
+				h.Add(run)
+				run = 0
+			}
+		}
+	}
+	return h
+}
+
+// Distribution prints stream length distributions per benchmark, base vs
+// optimized.
+func Distribution(w io.Writer, benches []Bench) {
+	fmt.Fprintln(w, "Stream length distribution (dynamic)")
+	fmt.Fprintf(w, "  %-14s %28s %28s\n", "", "base", "optimized")
+	fmt.Fprintf(w, "  %-14s %6s %5s %5s %5s %10s %5s %5s %5s\n", "benchmark",
+		"mean", "p50", "p90", "p99", "mean", "p50", "p90", "p99")
+	for _, b := range benches {
+		hb := StreamLengths(b.Base, b.Ref)
+		ho := StreamLengths(b.Opt, b.Ref)
+		fmt.Fprintf(w, "  %-14s %6.1f %5d %5d %5d %10.1f %5d %5d %5d\n",
+			b.Name,
+			hb.Mean(), hb.Percentile(0.5), hb.Percentile(0.9), hb.Percentile(0.99),
+			ho.Mean(), ho.Percentile(0.5), ho.Percentile(0.9), ho.Percentile(0.99))
+	}
+}
+
+// Table2 prints the simulated processor setup.
+func Table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: processor setup")
+	fmt.Fprintln(w, `  FTB architecture + perceptron
+    perceptrons             512, 40-bit global + 4096x14-bit local history
+    FTB                     2048-entry, 4-way
+  EV8 fetch + 2bcgskew
+    tables                  4 x 32K-entry, 15-bit history
+    BTB                     2048-entry, 4-way
+  Stream fetch architecture
+    first table             1K-entry, 4-way
+    second table            6K-entry, 3-way, DOLC 12-2-4-10
+  Trace cache + trace predictor
+    first level             1K-entry, 4-way
+    second level            4K-entry, 4-way, DOLC 9-4-7-9
+    backup BTB              1K-entry, 4-way
+    trace cache             32KB, 2-way, selective trace storage
+  Common
+    pipe width              2, 4, 8 (RAS 8-entry, FTQ 4 entries)
+    pipe depth              16 stages
+    L1 I-cache              64KB, 2-way, line = 4x width
+    L1 D-cache              64KB, 2-way, 64B lines
+    L2 (unified)            1MB, 4-way, 15 cycles
+    memory                  100 cycles`)
+}
+
+// Ablation compares next-stream-predictor design choices on the 8-wide
+// optimized configuration: the full cascade, no mispredict upgrades, a
+// single address-indexed table, and strict path priority.
+func Ablation(w io.Writer, benches []Bench, c Config) {
+	fmt.Fprintln(w, "Ablation: next stream predictor design choices (8-wide, optimized)")
+	variants := []struct {
+		name string
+		mut  func(*core.PredictorConfig)
+	}{
+		{"cascade (default)", nil},
+		{"no mispredict upgrade", func(p *core.PredictorConfig) { p.NoUpgrade = true }},
+		{"single table", func(p *core.PredictorConfig) { p.NoCascade = true }},
+		{"strict path priority", func(p *core.PredictorConfig) { p.AlwaysPathPriority = true }},
+	}
+	for _, v := range variants {
+		var ipc, mp []float64
+		for _, b := range benches {
+			cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams}
+			cfgS.Stream = frontendDefaultStream()
+			if v.mut != nil {
+				v.mut(&cfgS.Stream.Predictor)
+			}
+			r := sim.Run(b.Opt, b.Ref, cfgS)
+			ipc = append(ipc, r.IPC)
+			mp = append(mp, r.MispredRate)
+		}
+		fmt.Fprintf(w, "  %-24s IPC=%6.3f  mispred=%5.2f%%\n",
+			v.name, stats.HarmonicMean(ipc), 100*stats.Mean(mp))
+	}
+}
+
+func frontendDefaultStream() frontend.StreamConfig {
+	return frontend.DefaultStreamConfig()
+}
+
+func engineLabel(e sim.EngineKind) string {
+	switch e {
+	case sim.EngineEV8:
+		return "EV8 + 2bcgskew"
+	case sim.EngineFTB:
+		return "FTB + perceptron"
+	case sim.EngineStreams:
+		return "Streams"
+	case sim.EngineTraceCache:
+		return "Tcache + Tpred"
+	default:
+		return string(e)
+	}
+}

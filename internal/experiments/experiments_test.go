@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamfetch/internal/sim"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.TraceInsts = 60_000
+	c.TrainInsts = 20_000
+	c.Benchmarks = []string{"164.gzip"}
+	return c
+}
+
+func TestPrepare(t *testing.T) {
+	c := smallConfig()
+	benches := Prepare(c)
+	if len(benches) != 1 {
+		t.Fatalf("prepared %d benches", len(benches))
+	}
+	b := benches[0]
+	if b.Prog == nil || b.Base == nil || b.Opt == nil || b.Ref == nil {
+		t.Fatal("incomplete bench")
+	}
+	if err := b.Base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepAndHarmonic(t *testing.T) {
+	benches := Prepare(smallConfig())
+	cells := Sweep(benches, 4, []string{"base", "optimized"},
+		[]sim.EngineKind{sim.EngineStreams}, false)
+	if len(cells) != 2 {
+		t.Fatalf("sweep returned %d cells", len(cells))
+	}
+	h := HarmonicIPC(cells)
+	for _, l := range []string{"base", "optimized"} {
+		v := h[[2]string{l, string(sim.EngineStreams)}]
+		if v <= 0 || v > 8 {
+			t.Fatalf("%s IPC %v implausible", l, v)
+		}
+	}
+}
+
+func TestUnitSizesShape(t *testing.T) {
+	benches := Prepare(smallConfig())
+	u := UnitSizes(benches[0].Prog, benches[0].Opt, benches[0].Ref)
+	if u.BasicBlock <= 0 || u.Stream <= 0 || u.Trace <= 0 {
+		t.Fatalf("zero unit sizes: %+v", u)
+	}
+	// Table 1's ordering: basic block < trace, basic block < stream.
+	if u.BasicBlock >= u.Stream {
+		t.Errorf("basic block %.1f not smaller than stream %.1f", u.BasicBlock, u.Stream)
+	}
+	if u.BasicBlock >= u.Trace {
+		t.Errorf("basic block %.1f not smaller than trace %.1f", u.BasicBlock, u.Trace)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	out := buf.String()
+	for _, want := range []string{"2bcgskew", "DOLC 12-2-4-10", "64KB", "16 stages"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	benches := Prepare(smallConfig())
+	var buf bytes.Buffer
+	Table1(&buf, benches)
+	if !strings.Contains(buf.String(), "stream") {
+		t.Fatalf("Table 1 output: %q", buf.String())
+	}
+}

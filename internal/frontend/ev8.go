@@ -1,0 +1,183 @@
+// The Alpha EV8-style front-end (Seznec et al.): an interleaved BTB and the
+// 2bcgskew multiple branch predictor fetch instructions from the current
+// cache line up to the first predicted-taken branch (the SEQ.3-like scheme
+// the paper describes in §2.3).
+package frontend
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+)
+
+// EV8Config configures the EV8 front-end.
+type EV8Config struct {
+	Gskew      bpred.GskewConfig
+	BTBEntries int
+	BTBWays    int
+	RASDepth   int
+}
+
+// DefaultEV8Config returns the Table-2 configuration: 4 x 32K-entry gskew
+// tables, 15-bit history, 2048-entry 4-way BTB, 8-entry RAS.
+func DefaultEV8Config() EV8Config {
+	return EV8Config{
+		Gskew:      bpred.DefaultGskewConfig(),
+		BTBEntries: 2048,
+		BTBWays:    4,
+		RASDepth:   8,
+	}
+}
+
+// EV8Engine fetches one cache-line-bounded group of sequential instructions
+// per cycle, terminating at the first predicted-taken branch.
+type EV8Engine struct {
+	gskew *bpred.Gskew
+	btb   *bpred.BTB
+
+	specRAS *bpred.RAS
+	retRAS  *bpred.RAS
+
+	hier  *cache.Hierarchy
+	image *layout.Layout
+	width int
+
+	fetchAddr isa.Addr
+	busy      int
+	unitInsts uint64 // instructions in the current taken-to-taken unit
+	stats     FetchStats
+}
+
+// NewEV8Engine builds the front-end.
+func NewEV8Engine(cfg EV8Config, hier *cache.Hierarchy, image *layout.Layout, width int, entry isa.Addr) *EV8Engine {
+	return &EV8Engine{
+		gskew:     bpred.NewGskew(cfg.Gskew),
+		btb:       bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		specRAS:   bpred.NewRAS(cfg.RASDepth),
+		retRAS:    bpred.NewRAS(cfg.RASDepth),
+		hier:      hier,
+		image:     image,
+		width:     width,
+		fetchAddr: entry,
+	}
+}
+
+// Name implements Engine.
+func (e *EV8Engine) Name() string { return "ev8" }
+
+// Cycle implements Engine.
+func (e *EV8Engine) Cycle(out []FetchedInst) []FetchedInst {
+	e.stats.Cycles++
+	if e.busy > 0 {
+		e.busy--
+		if e.busy > 0 {
+			return out
+		}
+	} else {
+		lat := e.hier.FetchLatency(e.fetchAddr)
+		if lat > 1 {
+			e.busy = lat - 1
+			return out
+		}
+	}
+
+	lineBytes := isa.Addr(e.hier.ICache.LineBytes())
+	lineEnd := (e.fetchAddr/lineBytes + 1) * lineBytes
+	n := e.width
+	if room := int(lineEnd-e.fetchAddr) / isa.InstBytes; n > room {
+		n = room
+	}
+
+	addr := e.fetchAddr
+	delivered := 0
+	for i := 0; i < n; i++ {
+		inst := e.image.FetchAt(addr)
+		out = append(out, FetchedInst{Addr: addr, Inst: inst})
+		delivered++
+		e.unitInsts++
+		if inst.IsBranch() {
+			taken, target, haveTarget := e.predictBranch(addr, inst.Branch)
+			if taken {
+				e.stats.Units++
+				e.stats.UnitInsts += e.unitInsts
+				e.unitInsts = 0
+				if haveTarget {
+					e.fetchAddr = target
+				} else {
+					// No target available: fall through; the
+					// decode stage will fix direct branches.
+					e.fetchAddr = addr.Next()
+				}
+				e.finishCycle(delivered)
+				return out
+			}
+		}
+		addr = addr.Next()
+	}
+	e.fetchAddr = addr
+	e.finishCycle(delivered)
+	return out
+}
+
+func (e *EV8Engine) finishCycle(delivered int) {
+	if delivered > 0 {
+		e.stats.Delivered += uint64(delivered)
+		e.stats.DeliveryCycles++
+	}
+}
+
+// predictBranch runs the in-line multiple-branch prediction for one branch
+// slot.
+func (e *EV8Engine) predictBranch(addr isa.Addr, bt isa.BranchType) (taken bool, target isa.Addr, haveTarget bool) {
+	e.stats.PredictorLookups++
+	entry, btbHit := e.btb.Lookup(addr)
+	if btbHit {
+		e.stats.PredictorHits++
+	}
+	switch bt {
+	case isa.BranchCond:
+		p := e.gskew.Predict(uint64(addr))
+		e.gskew.OnPredict(p.Taken)
+		if !p.Taken {
+			return false, 0, false
+		}
+		return true, entry.Target, btbHit
+	case isa.BranchReturn:
+		return true, e.specRAS.Pop(), true
+	case isa.BranchCall, isa.BranchIndirectCall:
+		e.specRAS.Push(addr.Next())
+		return true, entry.Target, btbHit
+	default: // uncond, indirect
+		return true, entry.Target, btbHit
+	}
+}
+
+// Redirect implements Engine.
+func (e *EV8Engine) Redirect(target isa.Addr, recover bool) {
+	e.fetchAddr = target
+	e.busy = 0
+	e.unitInsts = 0
+	if recover {
+		e.gskew.Recover()
+		e.specRAS.CopyFrom(e.retRAS)
+	}
+}
+
+// Commit implements Engine.
+func (e *EV8Engine) Commit(c Committed) {
+	switch {
+	case c.Branch == isa.BranchCond:
+		e.gskew.UpdateAtCommit(uint64(c.Addr), c.Taken)
+	case c.Branch.IsCall():
+		e.retRAS.Push(c.Addr.Next())
+	case c.Branch.IsReturn():
+		e.retRAS.Pop()
+	}
+	if c.Branch != isa.BranchNone && c.Taken {
+		e.btb.Update(c.Addr, bpred.BTBEntry{Target: c.Target, Type: c.Branch})
+	}
+}
+
+// FetchStats implements Engine.
+func (e *EV8Engine) FetchStats() FetchStats { return e.stats }

@@ -1,0 +1,183 @@
+// The FTB front-end (Reinman, Austin & Calder, ISCA 1999): a decoupled
+// fetch-target-buffer prediction stage feeding an FTQ, with a perceptron
+// conditional predictor (Table 2). Fetch blocks are variable length, embed
+// never-taken branches, and end at a branch that has been taken at least
+// once; overlapping blocks are not stored (taken branches split blocks).
+package frontend
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+)
+
+// FTBConfig configures the FTB front-end.
+type FTBConfig struct {
+	FTBEntries  int
+	FTBWays     int
+	MaxBlockLen int
+	Perceptron  bpred.PerceptronConfig
+	FTQDepth    int
+	RASDepth    int
+}
+
+// DefaultFTBConfig returns the Table-2 configuration: 2048-entry 4-way FTB,
+// 512-perceptron predictor with 40-bit global and 4096x14-bit local history,
+// 4-entry FTQ, 8-entry RAS.
+func DefaultFTBConfig() FTBConfig {
+	return FTBConfig{
+		FTBEntries:  2048,
+		FTBWays:     4,
+		MaxBlockLen: 32,
+		Perceptron:  bpred.DefaultPerceptronConfig(),
+		FTQDepth:    4,
+		RASDepth:    8,
+	}
+}
+
+// FTBEngine is the decoupled FTB front-end.
+type FTBEngine struct {
+	ftb  *bpred.FTB
+	perc *bpred.Perceptron
+
+	ftq     *FTQ
+	fetcher ICacheFetcher
+
+	specRAS *bpred.RAS
+	retRAS  *bpred.RAS
+
+	fetchAddr isa.Addr
+	// commitBlockStart tracks fetch-block boundaries at retirement for
+	// FTB training.
+	commitBlockStart isa.Addr
+	maxBlockLen      int
+	stats            FetchStats
+}
+
+// NewFTBEngine builds the front-end.
+func NewFTBEngine(cfg FTBConfig, hier *cache.Hierarchy, image *layout.Layout, width int, entry isa.Addr) *FTBEngine {
+	return &FTBEngine{
+		ftb:              bpred.NewFTB(cfg.FTBEntries, cfg.FTBWays, cfg.MaxBlockLen),
+		perc:             bpred.NewPerceptron(cfg.Perceptron),
+		ftq:              NewFTQ(cfg.FTQDepth),
+		fetcher:          ICacheFetcher{Hier: hier, Image: image, Width: width},
+		specRAS:          bpred.NewRAS(cfg.RASDepth),
+		retRAS:           bpred.NewRAS(cfg.RASDepth),
+		fetchAddr:        entry,
+		commitBlockStart: entry,
+		maxBlockLen:      cfg.MaxBlockLen,
+	}
+}
+
+// Name implements Engine.
+func (e *FTBEngine) Name() string { return "ftb" }
+
+// Cycle implements Engine.
+func (e *FTBEngine) Cycle(out []FetchedInst) []FetchedInst {
+	e.stats.Cycles++
+
+	// Fetch request generation: one FTB lookup per cycle.
+	if !e.ftq.Full() {
+		e.stats.PredictorLookups++
+		if entry, hit := e.ftb.Lookup(e.fetchAddr); hit {
+			e.stats.PredictorHits++
+			e.stats.Units++
+			e.stats.UnitInsts += uint64(entry.Len)
+			taken := true
+			target := entry.Target
+			switch entry.Type {
+			case isa.BranchCond:
+				p := e.perc.Predict(uint64(entry.BranchPC(e.fetchAddr)))
+				e.perc.OnPredict(p.Taken)
+				taken = p.Taken
+			case isa.BranchReturn:
+				target = e.specRAS.Pop()
+			case isa.BranchCall, isa.BranchIndirectCall:
+				e.specRAS.Push(entry.FallThrough(e.fetchAddr))
+			case isa.BranchNone:
+				taken = false // length-capped block: sequential
+			}
+			e.ftq.Push(Request{Start: e.fetchAddr, Len: entry.Len})
+			if taken {
+				e.fetchAddr = target
+			} else {
+				e.fetchAddr = entry.FallThrough(e.fetchAddr)
+			}
+		} else {
+			// FTB miss: request sequentially to the end of the
+			// line; embedded taken branches will be discovered at
+			// decode or execute and learned at commit.
+			lineBytes := isa.Addr(e.fetcher.Hier.ICache.LineBytes())
+			lineEnd := (e.fetchAddr/lineBytes + 1) * lineBytes
+			n := int(lineEnd-e.fetchAddr) / isa.InstBytes
+			e.ftq.Push(Request{Start: e.fetchAddr, Len: n})
+			e.fetchAddr = e.fetchAddr.Plus(n)
+		}
+	}
+
+	// Instruction cache access.
+	before := len(out)
+	out = e.fetcher.CycleFTQ(e.ftq, out)
+	if n := len(out) - before; n > 0 {
+		e.stats.Delivered += uint64(n)
+		e.stats.DeliveryCycles++
+	}
+	return out
+}
+
+// Redirect implements Engine.
+func (e *FTBEngine) Redirect(target isa.Addr, recover bool) {
+	e.ftq.Clear()
+	e.fetcher.Reset()
+	e.fetchAddr = target
+	if recover {
+		e.perc.Recover()
+		e.specRAS.CopyFrom(e.retRAS)
+	}
+}
+
+// Commit implements Engine: perceptron training, retirement RAS, and FTB
+// block learning with splitting.
+func (e *FTBEngine) Commit(c Committed) {
+	switch {
+	case c.Branch == isa.BranchCond:
+		e.perc.UpdateAtCommit(uint64(c.Addr), c.Taken)
+	case c.Branch.IsCall():
+		e.retRAS.Push(c.Addr.Next())
+	case c.Branch.IsReturn():
+		e.retRAS.Pop()
+	}
+
+	blockLen := int(c.Addr-e.commitBlockStart)/isa.InstBytes + 1
+	switch {
+	case c.Branch != isa.BranchNone && c.Taken:
+		// A taken branch always terminates (and possibly splits) the
+		// fetch block starting at the tracked start.
+		e.ftb.Update(e.commitBlockStart, bpred.FTBEntry{
+			Len:    blockLen,
+			Type:   c.Branch,
+			Target: c.Target,
+		})
+		e.commitBlockStart = c.Target
+	case c.Mispredicted:
+		// Predicted taken, fell through: the next block starts at the
+		// fall-through (mirrors the front-end redirect).
+		e.commitBlockStart = c.Addr.Next()
+	case blockLen >= e.maxBlockLen:
+		// Length cap: the stored block ends here; continue at the
+		// fall-through.
+		e.commitBlockStart = c.Addr.Next()
+	case c.Branch != isa.BranchNone:
+		// A not-taken branch ends the block only if the FTB already
+		// stores a block terminating exactly here (ever-taken
+		// terminator not taken this time).
+		if entry, ok := e.ftb.Probe(e.commitBlockStart); ok &&
+			entry.BranchPC(e.commitBlockStart) == c.Addr {
+			e.commitBlockStart = c.Addr.Next()
+		}
+	}
+}
+
+// FetchStats implements Engine.
+func (e *FTBEngine) FetchStats() FetchStats { return e.stats }

@@ -1,0 +1,330 @@
+// The trace cache front-end (Rotenberg et al., with the next trace
+// predictor and selective trace storage): the primary path delivers whole
+// traces from the trace cache in a single access (drained at pipe width per
+// cycle while the predictor stalls, footnote 2 of the paper); the secondary
+// path fetches from the instruction cache one block per cycle, guided by the
+// predicted branch directions and a backup BTB.
+package frontend
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/tcache"
+)
+
+// TCConfig configures the trace cache front-end.
+type TCConfig struct {
+	TCache     tcache.Config
+	BTBEntries int
+	BTBWays    int
+	RASDepth   int
+}
+
+// DefaultTCConfig returns the Table-2 configuration (32KB 2-way trace
+// cache, 1K-entry 4-way backup BTB, 8-entry RAS).
+func DefaultTCConfig() TCConfig {
+	return TCConfig{
+		TCache:     tcache.DefaultConfig(),
+		BTBEntries: 1024,
+		BTBWays:    4,
+		RASDepth:   8,
+	}
+}
+
+// TraceCacheEngine is the trace cache front-end.
+type TraceCacheEngine struct {
+	pred    *tcache.Predictor
+	store   *tcache.Storage
+	fill    *tcache.FillUnit
+	btb     *bpred.BTB
+	specRAS *bpred.RAS
+	retRAS  *bpred.RAS
+
+	hier  *cache.Hierarchy
+	image *layout.Layout
+	width int
+
+	fetchAddr isa.Addr
+	// drain holds trace instructions being delivered width-per-cycle.
+	drain []FetchedInst
+	// secondary path state: remaining predicted-trace walk.
+	sec struct {
+		active  bool
+		addr    isa.Addr
+		left    int
+		dirs    uint8
+		condIdx uint8
+		ncond   uint8
+		haveDir bool
+	}
+	busy  int
+	stats FetchStats
+	// extra stats
+	tcHits, tcLookups uint64
+}
+
+// NewTraceCacheEngine builds the front-end.
+func NewTraceCacheEngine(cfg TCConfig, hier *cache.Hierarchy, image *layout.Layout, width int, entry isa.Addr) *TraceCacheEngine {
+	return &TraceCacheEngine{
+		pred:      tcache.NewPredictor(cfg.TCache),
+		store:     tcache.NewStorage(cfg.TCache.SizeBytes, cfg.TCache.Ways, cfg.TCache.MaxLen),
+		fill:      tcache.NewFillUnit(cfg.TCache, entry),
+		btb:       bpred.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		specRAS:   bpred.NewRAS(cfg.RASDepth),
+		retRAS:    bpred.NewRAS(cfg.RASDepth),
+		hier:      hier,
+		image:     image,
+		width:     width,
+		fetchAddr: entry,
+	}
+}
+
+// Name implements Engine.
+func (e *TraceCacheEngine) Name() string { return "tcache" }
+
+// TraceHitRate returns the trace cache hit rate.
+func (e *TraceCacheEngine) TraceHitRate() float64 {
+	if e.tcLookups == 0 {
+		return 0
+	}
+	return float64(e.tcHits) / float64(e.tcLookups)
+}
+
+// Cycle implements Engine.
+func (e *TraceCacheEngine) Cycle(out []FetchedInst) []FetchedInst {
+	e.stats.Cycles++
+
+	// Drain a previously hit trace at pipe width per cycle; the
+	// predictor and trace cache stall meanwhile.
+	if len(e.drain) > 0 {
+		n := e.width
+		if n > len(e.drain) {
+			n = len(e.drain)
+		}
+		out = append(out, e.drain[:n]...)
+		e.drain = e.drain[n:]
+		e.deliver(n)
+		return out
+	}
+
+	// Secondary path in progress: one instruction-cache block per cycle.
+	if e.sec.active {
+		return e.secondaryCycle(out)
+	}
+
+	// New trace prediction.
+	e.stats.PredictorLookups++
+	pr, hit := e.pred.Predict(e.fetchAddr)
+	if hit {
+		e.stats.PredictorHits++
+		e.stats.Units++
+		e.stats.UnitInsts += uint64(pr.Len)
+		next := pr.Next
+		switch {
+		case pr.TermType.IsReturn():
+			next = e.specRAS.Pop()
+		case pr.TermType.IsCall():
+			next = pr.Next
+			e.specRAS.Push(pr.ID.Start.Plus(pr.Len))
+		}
+		e.pred.OnPredict(pr.ID.Start)
+
+		e.tcLookups++
+		if tr, ok := e.store.Lookup(pr.ID); ok {
+			// Primary path: the whole trace in one access.
+			e.tcHits++
+			n := e.width
+			if n > tr.Len() {
+				n = tr.Len()
+			}
+			for _, ti := range tr.Inst[:n] {
+				out = append(out, FetchedInst{Addr: ti.Addr, Inst: ti.Inst})
+			}
+			for _, ti := range tr.Inst[n:] {
+				e.drain = append(e.drain, FetchedInst{Addr: ti.Addr, Inst: ti.Inst})
+			}
+			e.fetchAddr = next
+			e.deliver(n)
+			return out
+		}
+		// Trace cache miss: walk the predicted trace through the
+		// instruction cache, one block per cycle.
+		e.sec.active = true
+		e.sec.addr = pr.ID.Start
+		e.sec.left = pr.Len
+		e.sec.dirs = pr.ID.Dirs
+		e.sec.ncond = pr.ID.NCond
+		e.sec.condIdx = 0
+		e.sec.haveDir = true
+		e.fetchAddr = next
+		return e.secondaryCycle(out)
+	}
+
+	// Predictor miss: secondary path without direction guidance (backup
+	// BTB counters only), one block per cycle, until the predictor hits
+	// again. The walk advances fetchAddr itself.
+	e.sec.active = true
+	e.sec.addr = e.fetchAddr
+	e.sec.left = e.width
+	e.sec.haveDir = false
+	return e.secondaryCycle(out)
+}
+
+func (e *TraceCacheEngine) deliver(n int) {
+	if n > 0 {
+		e.stats.Delivered += uint64(n)
+		e.stats.DeliveryCycles++
+	}
+}
+
+// secondaryCycle fetches one cache-line-bounded block from the instruction
+// cache, ending at the first predicted-taken branch.
+func (e *TraceCacheEngine) secondaryCycle(out []FetchedInst) []FetchedInst {
+	if e.busy > 0 {
+		e.busy--
+		if e.busy > 0 {
+			return out
+		}
+	} else {
+		lat := e.hier.FetchLatency(e.sec.addr)
+		if lat > 1 {
+			e.busy = lat - 1
+			return out
+		}
+	}
+	lineBytes := isa.Addr(e.hier.ICache.LineBytes())
+	lineEnd := (e.sec.addr/lineBytes + 1) * lineBytes
+	n := e.width
+	if n > e.sec.left {
+		n = e.sec.left
+	}
+	if room := int(lineEnd-e.sec.addr) / isa.InstBytes; n > room {
+		n = room
+	}
+	delivered := 0
+	for i := 0; i < n; i++ {
+		inst := e.image.FetchAt(e.sec.addr)
+		out = append(out, FetchedInst{Addr: e.sec.addr, Inst: inst})
+		delivered++
+		e.sec.left--
+		if inst.IsBranch() {
+			taken, target, have := e.secondaryBranch(e.sec.addr, inst.Branch)
+			if taken {
+				if !have {
+					target = e.sec.addr.Next()
+				}
+				e.sec.addr = target
+				if e.sec.left <= 0 || !e.sec.haveDir {
+					e.endSecondary(target)
+				}
+				e.deliver(delivered)
+				return out
+			}
+		}
+		e.sec.addr = e.sec.addr.Next()
+		if e.sec.left <= 0 {
+			e.endSecondary(e.sec.addr)
+			e.deliver(delivered)
+			return out
+		}
+	}
+	e.deliver(delivered)
+	return out
+}
+
+// endSecondary finishes a secondary walk; cont is where fetch continues when
+// the walk was unguided.
+func (e *TraceCacheEngine) endSecondary(cont isa.Addr) {
+	e.sec.active = false
+	if !e.sec.haveDir {
+		e.fetchAddr = cont
+	}
+}
+
+// secondaryBranch resolves one branch on the secondary path: predicted
+// directions come from the trace prediction when available, otherwise from
+// the backup BTB's 2-bit counters.
+func (e *TraceCacheEngine) secondaryBranch(addr isa.Addr, bt isa.BranchType) (taken bool, target isa.Addr, have bool) {
+	entry, btbHit := e.btb.Lookup(addr)
+	switch bt {
+	case isa.BranchCond:
+		if e.sec.haveDir && e.sec.condIdx < e.sec.ncond {
+			taken = e.sec.dirs>>e.sec.condIdx&1 == 1
+			e.sec.condIdx++
+		} else {
+			taken = btbHit && entry.Ctr.Taken()
+		}
+		if !taken {
+			return false, 0, false
+		}
+		return true, entry.Target, btbHit
+	case isa.BranchReturn:
+		return true, e.specRAS.Pop(), true
+	case isa.BranchCall, isa.BranchIndirectCall:
+		e.specRAS.Push(addr.Next())
+		return true, entry.Target, btbHit
+	default:
+		return true, entry.Target, btbHit
+	}
+}
+
+// Redirect implements Engine.
+func (e *TraceCacheEngine) Redirect(target isa.Addr, recover bool) {
+	e.drain = e.drain[:0]
+	e.sec.active = false
+	e.busy = 0
+	e.fetchAddr = target
+	if recover {
+		e.pred.Recover()
+		e.specRAS.CopyFrom(e.retRAS)
+	}
+}
+
+// Commit implements Engine: fill-unit trace construction, predictor
+// training, selective trace storage, backup BTB maintenance.
+func (e *TraceCacheEngine) Commit(c Committed) {
+	if c.Branch.IsCall() && c.Taken {
+		e.retRAS.Push(c.Addr.Next())
+	}
+	if c.Branch.IsReturn() && c.Taken {
+		e.retRAS.Pop()
+	}
+	if c.Branch != isa.BranchNone {
+		entry, ok := e.btb.Probe(c.Addr)
+		if c.Taken {
+			ctr := bpred.TwoBit(2)
+			if ok {
+				ctr = entry.Ctr.Update(true)
+			}
+			e.btb.Update(c.Addr, bpred.BTBEntry{Target: c.Target, Type: c.Branch, Ctr: ctr})
+		} else if ok {
+			entry.Ctr = entry.Ctr.Update(false)
+			e.btb.Update(c.Addr, entry)
+		}
+	}
+
+	inst := isa.Inst{Addr: c.Addr, Class: isa.ClassALU, Branch: c.Branch}
+	if c.Branch != isa.BranchNone {
+		inst.Class = isa.ClassBranch
+	}
+	tr, misp, ok := e.fill.Commit(c.Addr, inst, c.Taken, c.Target, c.Mispredicted)
+	if !ok {
+		return
+	}
+	e.pred.Update(tcache.Pred{
+		ID:       tr.ID,
+		Len:      tr.Len(),
+		Next:     tr.Next,
+		TermType: tr.TermType,
+	}, misp)
+	// Selective trace storage: only red (non-sequential) traces enter the
+	// trace cache; blue traces are redundant with the instruction cache.
+	if tr.Red {
+		e.store.Insert(tr)
+	}
+}
+
+// FetchStats implements Engine.
+func (e *TraceCacheEngine) FetchStats() FetchStats { return e.stats }

@@ -1,0 +1,57 @@
+package isa
+
+import "testing"
+
+func TestAddrArithmetic(t *testing.T) {
+	a := Addr(0x1000)
+	if a.Next() != 0x1004 {
+		t.Fatalf("Next = %v", a.Next())
+	}
+	if a.Plus(3) != 0x100c {
+		t.Fatalf("Plus(3) = %v", a.Plus(3))
+	}
+	if a.String() != "0x1000" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestBranchTypePredicates(t *testing.T) {
+	cases := []struct {
+		bt                                  BranchType
+		isBranch, cond, call, ret, indirect bool
+	}{
+		{BranchNone, false, false, false, false, false},
+		{BranchCond, true, true, false, false, false},
+		{BranchUncond, true, false, false, false, false},
+		{BranchCall, true, false, true, false, false},
+		{BranchReturn, true, false, false, true, false},
+		{BranchIndirect, true, false, false, false, true},
+		{BranchIndirectCall, true, false, true, false, true},
+	}
+	for _, c := range cases {
+		if c.bt.IsBranch() != c.isBranch || c.bt.IsConditional() != c.cond ||
+			c.bt.IsCall() != c.call || c.bt.IsReturn() != c.ret ||
+			c.bt.IsIndirect() != c.indirect {
+			t.Errorf("%v predicates wrong", c.bt)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BranchCond.String() != "cond" || ClassLoad.String() != "load" {
+		t.Fatal("stringer output wrong")
+	}
+	if BranchType(200).String() == "" || Class(200).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}
+
+func TestInstIsBranch(t *testing.T) {
+	i := Inst{Class: ClassBranch, Branch: BranchCond}
+	if !i.IsBranch() {
+		t.Fatal("branch inst not recognized")
+	}
+	if (Inst{Class: ClassALU}).IsBranch() {
+		t.Fatal("ALU inst recognized as branch")
+	}
+}

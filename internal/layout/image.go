@@ -1,0 +1,139 @@
+// Static program image: address → instruction lookup. This is the "static
+// basic block dictionary" of the paper's simulator (§4.1), which lets the
+// front-end fetch down wrong paths through real code.
+package layout
+
+import (
+	"sort"
+
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/isa"
+)
+
+// image caches the sorted block starts for address lookup; built lazily.
+type image struct {
+	starts []isa.Addr    // ascending block start addresses
+	ids    []cfg.BlockID // block at starts[i]
+}
+
+func (l *Layout) img() *image {
+	if l.im == nil {
+		im := &image{
+			starts: make([]isa.Addr, len(l.Order)),
+			ids:    make([]cfg.BlockID, len(l.Order)),
+		}
+		for i, id := range l.Order {
+			im.starts[i] = l.start[id]
+			im.ids[i] = id
+		}
+		l.im = im
+	}
+	return l.im
+}
+
+// BlockAt returns the block containing address a and the slot offset within
+// it. ok is false when a is outside the code segment.
+func (l *Layout) BlockAt(a isa.Addr) (id cfg.BlockID, slot int, ok bool) {
+	im := l.img()
+	if len(im.starts) == 0 || a < im.starts[0] {
+		return cfg.NoBlock, 0, false
+	}
+	// Find the last start <= a.
+	i := sort.Search(len(im.starts), func(i int) bool { return im.starts[i] > a }) - 1
+	id = im.ids[i]
+	off := int(a-im.starts[i]) / isa.InstBytes
+	if off >= int(l.slots[id]) {
+		return cfg.NoBlock, 0, false // past the end of the code segment
+	}
+	return id, off, true
+}
+
+// InstAt returns the static instruction at address a. The front-end uses
+// this to fetch down any (possibly wrong) path.
+func (l *Layout) InstAt(a isa.Addr) (isa.Inst, bool) {
+	id, slot, ok := l.BlockAt(a)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return l.instAtSlot(id, slot, a), true
+}
+
+// instAtSlot materializes the instruction at a given slot of a block.
+func (l *Layout) instAtSlot(id cfg.BlockID, slot int, a isa.Addr) isa.Inst {
+	b := l.Prog.Blocks[id]
+	n := int(l.slots[id])
+	switch l.arr[id] {
+	case ArrElide:
+		// Trailing jump removed: every remaining slot is a body
+		// instruction, except the degenerate one-slot case where the
+		// block was all jump (kept as a jump).
+		if b.NInsts == 1 {
+			return isa.Inst{Addr: a, Class: isa.ClassBranch, Branch: b.Branch}
+		}
+		return isa.Inst{Addr: a, Class: b.Classes[slot]}
+	case ArrAppendJump:
+		if slot == n-1 {
+			return isa.Inst{Addr: a, Class: isa.ClassBranch, Branch: isa.BranchUncond}
+		}
+		return isa.Inst{Addr: a, Class: b.Classes[slot], Branch: branchAtCFG(b, slot)}
+	default: // ArrAsIs
+		return isa.Inst{Addr: a, Class: b.Classes[slot], Branch: branchAtCFG(b, slot)}
+	}
+}
+
+// branchAtCFG returns the branch type if slot is the block's terminating
+// branch slot.
+func branchAtCFG(b *cfg.Block, slot int) isa.BranchType {
+	if b.Branch != isa.BranchNone && slot == b.NInsts-1 {
+		return b.Branch
+	}
+	return isa.BranchNone
+}
+
+// FetchAt is the total variant of InstAt used by fetch engines: addresses
+// outside the code segment return a synthetic non-branch instruction, the
+// way real hardware happily fetches whatever bytes sit at a wrong-path
+// address. The misprediction that led there resolves normally and recovery
+// redirects fetch back into code.
+func (l *Layout) FetchAt(a isa.Addr) isa.Inst {
+	if inst, ok := l.InstAt(a); ok {
+		return inst
+	}
+	return isa.Inst{Addr: a, Class: isa.ClassALU}
+}
+
+// StaticTarget returns the taken-path target of the direct branch at address
+// a, as a decoder would compute from the instruction encoding. ok is false
+// for non-branches and for dynamic-target branches (indirect, return).
+func (l *Layout) StaticTarget(a isa.Addr) (isa.Addr, bool) {
+	id, slot, ok := l.BlockAt(a)
+	if !ok {
+		return 0, false
+	}
+	b := l.Prog.Blocks[id]
+	n := int(l.slots[id])
+	if l.arr[id] == ArrAppendJump && slot == n-1 {
+		// The materialized jump always goes to Succs[0] (the side the
+		// encoded conditional does not take), or the sole successor of
+		// a fall-through block.
+		return l.start[b.Succs[0].To], true
+	}
+	if branchAtCFG(b, slot) == isa.BranchNone && !(l.arr[id] == ArrElide && b.NInsts == 1) {
+		return 0, false
+	}
+	switch b.Branch {
+	case isa.BranchCond:
+		return l.start[b.Succs[l.condTarget[id]].To], true
+	case isa.BranchUncond:
+		return l.start[b.Succs[0].To], true
+	case isa.BranchCall:
+		return l.start[b.Succs[0].To], true
+	default:
+		return 0, false // indirect/return: target not in the encoding
+	}
+}
+
+// CodeLimit returns the first address past the code segment.
+func (l *Layout) CodeLimit() isa.Addr {
+	return CodeBase.Plus(l.totalSlots)
+}

@@ -1,0 +1,207 @@
+// Package pipeline models the processor back-end consuming the front-end's
+// fetch stream: an in-order reorder buffer retiring up to the pipe width per
+// cycle, per-class execution latencies (loads consult the data cache and
+// L2), and branch resolution a pipeline-depth after fetch — the point where
+// mispredictions redirect the front-end. The back-end is identical across
+// fetch architectures, so IPC differences come from fetch bandwidth and
+// prediction accuracy, as in the paper's methodology.
+package pipeline
+
+import (
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+)
+
+// Config parameterizes the back-end.
+type Config struct {
+	// Width is the pipe width (fetch/issue/retire per cycle).
+	Width int
+	// Depth is the pipeline depth in stages; a mispredicted branch
+	// resolves Depth cycles after it was fetched (Table 2: 16 stages).
+	Depth int
+	// ROBSize bounds in-flight instructions (0 = 16x width).
+	ROBSize int
+	// DecodePenalty is the bubble charged by a decode-stage redirect.
+	DecodePenalty int
+	// MulLatency is the latency of long integer operations.
+	MulLatency int
+	// DataWorkingSet is the benchmark data footprint driving synthetic
+	// load/store addresses.
+	DataWorkingSet int
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.ROBSize == 0 {
+		c.ROBSize = 16 * c.Width
+	}
+	if c.DecodePenalty == 0 {
+		c.DecodePenalty = 4
+	}
+	if c.MulLatency == 0 {
+		c.MulLatency = 3
+	}
+	if c.DataWorkingSet == 0 {
+		c.DataWorkingSet = 1 << 21
+	}
+	return c
+}
+
+// Entry is one in-flight instruction.
+type Entry struct {
+	Seq    uint64
+	Addr   isa.Addr
+	Class  isa.Class
+	Branch isa.BranchType
+	// Architectural truth (correct-path entries only).
+	Taken  bool
+	Target isa.Addr
+	// WrongPath marks instructions fetched past a misprediction.
+	WrongPath bool
+	// Mispredicted marks the branch whose prediction diverged; Recovery
+	// is where fetch must resume.
+	Mispredicted bool
+	Recovery     isa.Addr
+
+	FetchCycle   uint64
+	DoneCycle    uint64
+	ResolveCycle uint64
+	issued       bool
+}
+
+// ROB is a bounded in-order window of Entry.
+type ROB struct {
+	buf  []Entry
+	size int
+}
+
+// NewROB builds a reorder buffer of the given capacity.
+func NewROB(size int) *ROB {
+	return &ROB{size: size}
+}
+
+// Full reports whether the window is at capacity.
+func (r *ROB) Full() bool { return len(r.buf) >= r.size }
+
+// Len returns the occupancy.
+func (r *ROB) Len() int { return len(r.buf) }
+
+// Push appends an entry; callers must check Full.
+func (r *ROB) Push(e Entry) { r.buf = append(r.buf, e) }
+
+// Head returns the oldest entry for inspection.
+func (r *ROB) Head() *Entry { return &r.buf[0] }
+
+// PopHead retires the oldest entry.
+func (r *ROB) PopHead() Entry {
+	e := r.buf[0]
+	r.buf = r.buf[1:]
+	return e
+}
+
+// SquashAfter drops every entry with Seq > seq (wrong-path flush) and
+// returns how many were dropped.
+func (r *ROB) SquashAfter(seq uint64) int {
+	for i := range r.buf {
+		if r.buf[i].Seq > seq {
+			n := len(r.buf) - i
+			r.buf = r.buf[:i]
+			return n
+		}
+	}
+	return 0
+}
+
+// Find2 returns the i-th oldest entry (diagnostics).
+func (r *ROB) Find2(i int) *Entry { return &r.buf[i] }
+
+// Find returns the in-flight entry with the given sequence number, if
+// present (used to attach misprediction state at divergence detection).
+func (r *ROB) Find(seq uint64) *Entry {
+	for i := range r.buf {
+		if r.buf[i].Seq == seq {
+			return &r.buf[i]
+		}
+	}
+	return nil
+}
+
+// LoadAddrGen synthesizes deterministic data addresses for loads and
+// stores: each static memory instruction streams through a private hot
+// region with occasional jumps across the working set, approximating the
+// locality mix of integer codes. Address sequences depend only on the
+// committed instruction stream, so every fetch architecture sees identical
+// data-cache behaviour.
+type LoadAddrGen struct {
+	workingSet uint64
+	counts     map[isa.Addr]uint64
+}
+
+// DataBase is the base virtual address of the synthetic data segment.
+const DataBase = uint64(0x1000_0000)
+
+// NewLoadAddrGen builds a generator over a working set of the given bytes.
+func NewLoadAddrGen(workingSet int) *LoadAddrGen {
+	ws := uint64(workingSet)
+	if ws < 1<<15 {
+		ws = 1 << 15
+	}
+	return &LoadAddrGen{workingSet: ws, counts: make(map[isa.Addr]uint64)}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Next returns the data address for the next dynamic execution of the
+// memory instruction at pc. Consecutive executions of one static memory
+// instruction mostly walk a small private region with a sub-line stride
+// (high spatial locality, as integer codes exhibit), with occasional far
+// accesses across the working set (pointer chasing).
+func (g *LoadAddrGen) Next(pc isa.Addr) uint64 {
+	n := g.counts[pc]
+	g.counts[pc] = n + 1
+	h := mix64(uint64(pc))
+	if n%32 == 31 {
+		// Occasional far access across the working set.
+		return DataBase + (mix64(h^(n*0x9e3779b9))%g.workingSet)&^7
+	}
+	// Walk a 4KB hot region chosen per static instruction with an
+	// 8-byte stride: eight accesses per cache line.
+	const region = 4096
+	base := (h % (g.workingSet - region)) &^ 63
+	return DataBase + base + (n*8)%region
+}
+
+// Latency returns the execution latency of one instruction, charging the
+// data cache hierarchy for correct-path memory operations.
+type Latency struct {
+	Hier *cache.Hierarchy
+	Gen  *LoadAddrGen
+	Mul  int
+}
+
+// For computes the latency of entry e in cycles.
+func (l *Latency) For(e *Entry) int {
+	switch e.Class {
+	case isa.ClassLoad:
+		if e.WrongPath {
+			return 1
+		}
+		return l.Hier.LoadLatency(isa.Addr(l.Gen.Next(e.Addr)))
+	case isa.ClassStore:
+		if !e.WrongPath {
+			l.Hier.Store(isa.Addr(l.Gen.Next(e.Addr)))
+		}
+		return 1
+	case isa.ClassMul:
+		return l.Mul
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+)
+
+func TestROBOrderAndSquash(t *testing.T) {
+	r := NewROB(8)
+	for i := 1; i <= 5; i++ {
+		r.Push(Entry{Seq: uint64(i)})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if n := r.SquashAfter(3); n != 2 {
+		t.Fatalf("squashed %d, want 2", n)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len after squash = %d", r.Len())
+	}
+	if e := r.PopHead(); e.Seq != 1 {
+		t.Fatalf("head seq = %d", e.Seq)
+	}
+}
+
+func TestROBFind(t *testing.T) {
+	r := NewROB(4)
+	r.Push(Entry{Seq: 10})
+	r.Push(Entry{Seq: 11})
+	if e := r.Find(11); e == nil || e.Seq != 11 {
+		t.Fatal("Find failed")
+	}
+	if r.Find(99) != nil {
+		t.Fatal("Find invented an entry")
+	}
+}
+
+func TestROBFull(t *testing.T) {
+	r := NewROB(2)
+	r.Push(Entry{Seq: 1})
+	if r.Full() {
+		t.Fatal("full too early")
+	}
+	r.Push(Entry{Seq: 2})
+	if !r.Full() {
+		t.Fatal("not full at capacity")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Width: 8}.WithDefaults()
+	if c.ROBSize != 128 || c.DecodePenalty == 0 || c.MulLatency == 0 || c.DataWorkingSet == 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+func TestLoadAddrGenDeterministic(t *testing.T) {
+	a := NewLoadAddrGen(1 << 20)
+	b := NewLoadAddrGen(1 << 20)
+	for i := 0; i < 100; i++ {
+		if a.Next(0x1234) != b.Next(0x1234) {
+			t.Fatal("generators diverged")
+		}
+	}
+}
+
+func TestLoadAddrGenWithinSegment(t *testing.T) {
+	g := NewLoadAddrGen(1 << 18)
+	for i := 0; i < 10000; i++ {
+		a := g.Next(isa.Addr(0x4000 + 4*(i%7)))
+		if a < DataBase || a >= DataBase+(1<<18) {
+			t.Fatalf("address %x outside the working set", a)
+		}
+	}
+}
+
+func TestLoadAddrGenLocality(t *testing.T) {
+	// The streaming pattern must produce a high D-cache hit rate.
+	h := cache.NewHierarchy(cache.DefaultHierarchy(8))
+	g := NewLoadAddrGen(1 << 20)
+	lat := Latency{Hier: h, Gen: g, Mul: 3}
+	for i := 0; i < 50000; i++ {
+		e := Entry{Addr: isa.Addr(0x1000 + 4*(i%17)), Class: isa.ClassLoad}
+		lat.For(&e)
+	}
+	if mr := h.DCache.Stats().MissRate(); mr > 0.25 {
+		t.Fatalf("D-cache miss rate %.2f too high for a streaming workload", mr)
+	}
+}
+
+func TestLatencyClasses(t *testing.T) {
+	h := cache.NewHierarchy(cache.DefaultHierarchy(8))
+	lat := Latency{Hier: h, Gen: NewLoadAddrGen(1 << 16), Mul: 3}
+	if got := lat.For(&Entry{Class: isa.ClassALU}); got != 1 {
+		t.Fatalf("ALU latency %d", got)
+	}
+	if got := lat.For(&Entry{Class: isa.ClassMul}); got != 3 {
+		t.Fatalf("Mul latency %d", got)
+	}
+	if got := lat.For(&Entry{Class: isa.ClassLoad, WrongPath: true}); got != 1 {
+		t.Fatalf("wrong-path load latency %d", got)
+	}
+	if got := lat.For(&Entry{Class: isa.ClassLoad, Addr: 0x100}); got <= 1 {
+		t.Fatalf("cold load latency %d, want a miss", got)
+	}
+}

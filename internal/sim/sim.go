@@ -1,0 +1,498 @@
+// Package sim drives trace-based simulation of a superscalar processor with
+// a pluggable fetch engine. The driver owns the architecturally correct
+// dynamic instruction stream (expanded from the block trace under the active
+// code layout) and validates the front-end's fetched addresses against it:
+//
+//   - decode-stage consistency checks catch fetches that contradict the
+//     static code (taken transitions at non-branches, wrong targets of
+//     direct branches, fall-throughs of unconditional jumps) and redirect
+//     with a short penalty;
+//   - a divergence from the correct path marks the preceding correct-path
+//     instruction as mispredicted; fetch continues down the wrong path
+//     through the static image (polluting caches and speculative predictor
+//     history, as in the paper's wrong-path model) until the branch
+//     resolves a pipeline-depth after fetch, when the engine recovers.
+package sim
+
+import (
+	"fmt"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/frontend"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/pipeline"
+	"streamfetch/internal/trace"
+)
+
+// EngineKind selects a fetch architecture.
+type EngineKind string
+
+// The four evaluated front-ends.
+const (
+	EngineEV8        EngineKind = "ev8"
+	EngineFTB        EngineKind = "ftb"
+	EngineStreams    EngineKind = "streams"
+	EngineTraceCache EngineKind = "tcache"
+)
+
+// Kinds lists all engines in the paper's presentation order.
+func Kinds() []EngineKind {
+	return []EngineKind{EngineEV8, EngineFTB, EngineStreams, EngineTraceCache}
+}
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Width is the pipe width (2, 4 or 8 in the paper).
+	Width int
+	// Engine picks the front-end.
+	Engine EngineKind
+	// Pipeline is the back-end model configuration.
+	Pipeline pipeline.Config
+	// Hier describes the memory system; zero value uses Table-2 defaults
+	// for the width.
+	Hier cache.HierarchyConfig
+	// MaxInsts stops the simulation after retiring this many
+	// correct-path instructions (0 = the whole trace).
+	MaxInsts uint64
+
+	// OnCommit, when set, observes every retired instruction (diagnostics).
+	OnCommit func(c frontend.Committed)
+
+	// OnMisfetch, when set, is invoked for every decode-stage redirect
+	// with the offending transition (debugging/analysis hook).
+	OnMisfetch func(prevAddr isa.Addr, prevBranch isa.BranchType, cur, fix isa.Addr, wrongPath, prevWrong, prevTaken bool, prevSeq uint64)
+
+	// OnMispredict, when set, is invoked for every committed mispredicted
+	// branch with the current retired-instruction count
+	// (debugging/analysis hook).
+	OnMispredict func(addr isa.Addr, branch isa.BranchType, taken bool, retired uint64)
+
+	// Per-engine configurations; zero values use Table-2 defaults.
+	EV8    frontend.EV8Config
+	FTB    frontend.FTBConfig
+	Stream frontend.StreamConfig
+	TC     frontend.TCConfig
+}
+
+// WithDefaults fills unset fields from the paper's Table 2.
+func (c Config) WithDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Engine == "" {
+		c.Engine = EngineStreams
+	}
+	c.Pipeline.Width = c.Width
+	if c.Pipeline.Depth == 0 {
+		c.Pipeline.Depth = 16
+	}
+	c.Pipeline = c.Pipeline.WithDefaults()
+	if c.Hier.ICache.SizeBytes == 0 {
+		c.Hier = cache.DefaultHierarchy(c.Width)
+	}
+	if c.EV8.BTBEntries == 0 {
+		c.EV8 = frontend.DefaultEV8Config()
+	}
+	if c.FTB.FTBEntries == 0 {
+		c.FTB = frontend.DefaultFTBConfig()
+	}
+	if c.Stream.FTQDepth == 0 {
+		c.Stream = frontend.DefaultStreamConfig()
+	}
+	if c.TC.BTBEntries == 0 {
+		c.TC = frontend.DefaultTCConfig()
+	}
+	return c
+}
+
+// Result aggregates one simulation's outcome.
+type Result struct {
+	Engine EngineKind
+	Width  int
+
+	Cycles  uint64
+	Retired uint64
+	// IPC is retired correct-path instructions per cycle.
+	IPC float64
+
+	Branches     uint64
+	Mispredicted uint64
+	// MispredByType breaks mispredictions down by branch type (indexed
+	// by isa.BranchType).
+	MispredByType [8]uint64
+	// MispredRate is mispredicted branches per committed branch.
+	MispredRate float64
+	// Misfetches counts decode-stage redirects (wrong or missing targets
+	// caught before execute).
+	Misfetches uint64
+
+	Fetch frontend.FetchStats
+	// FetchIPC is delivered instructions per front-end cycle.
+	FetchIPC float64
+
+	ICache cache.Stats
+	DCache cache.Stats
+	L2     cache.Stats
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s w=%d IPC=%.3f fetchIPC=%.2f mispred=%.2f%% misfetch=%d icacheMiss=%.3f%%",
+		r.Engine, r.Width, r.IPC, r.FetchIPC, 100*r.MispredRate, r.Misfetches,
+		100*r.ICache.MissRate())
+}
+
+// dynSupply lazily expands the block trace into dynamic instructions under
+// the layout.
+type dynSupply struct {
+	lay    *layout.Layout
+	blocks []cfg.BlockID
+	bi     int
+	buf    []layout.DynInst
+	pos    int
+}
+
+func (d *dynSupply) peek() (layout.DynInst, bool) {
+	for d.pos >= len(d.buf) {
+		if d.bi >= len(d.blocks) {
+			return layout.DynInst{}, false
+		}
+		next := cfg.NoBlock
+		if d.bi+1 < len(d.blocks) {
+			next = d.blocks[d.bi+1]
+		}
+		d.buf = d.lay.AppendDyn(d.buf[:0], d.blocks[d.bi], next)
+		d.pos = 0
+		d.bi++
+	}
+	return d.buf[d.pos], true
+}
+
+func (d *dynSupply) advance() { d.pos++ }
+
+// Processor is one configured simulation.
+type Processor struct {
+	cfg    Config
+	lay    *layout.Layout
+	hier   *cache.Hierarchy
+	engine frontend.Engine
+	supply dynSupply
+}
+
+// New builds a processor simulating tr (generated from prog) under lay.
+func New(lay *layout.Layout, tr *trace.Trace, cfg Config) *Processor {
+	cfg = cfg.WithDefaults()
+	hier := cache.NewHierarchy(cfg.Hier)
+	entry := lay.Start(lay.Prog.Entry)
+	var eng frontend.Engine
+	switch cfg.Engine {
+	case EngineEV8:
+		eng = frontend.NewEV8Engine(cfg.EV8, hier, lay, cfg.Width, entry)
+	case EngineFTB:
+		eng = frontend.NewFTBEngine(cfg.FTB, hier, lay, cfg.Width, entry)
+	case EngineStreams:
+		eng = frontend.NewStreamEngine(cfg.Stream, hier, lay, cfg.Width, entry)
+	case EngineTraceCache:
+		eng = frontend.NewTraceCacheEngine(cfg.TC, hier, lay, cfg.Width, entry)
+	default:
+		panic(fmt.Sprintf("sim: unknown engine %q", cfg.Engine))
+	}
+	return &Processor{
+		cfg:    cfg,
+		lay:    lay,
+		hier:   hier,
+		engine: eng,
+		supply: dynSupply{lay: lay, blocks: tr.Blocks},
+	}
+}
+
+// Engine exposes the running engine (for reports).
+func (p *Processor) Engine() frontend.Engine { return p.engine }
+
+// outstanding tracks the single unresolved misprediction.
+type outstanding struct {
+	seq      uint64
+	resolve  uint64
+	recovery isa.Addr
+}
+
+// Run executes the simulation and returns its results.
+func (p *Processor) Run() Result {
+	cfg := p.cfg
+	width := cfg.Width
+	lat := &pipeline.Latency{
+		Hier: p.hier,
+		Gen:  pipeline.NewLoadAddrGen(cfg.Pipeline.DataWorkingSet),
+		Mul:  cfg.Pipeline.MulLatency,
+	}
+	rob := pipeline.NewROB(cfg.Pipeline.ROBSize)
+	fetchBufCap := 4 * width
+
+	var (
+		cycle, seq      uint64
+		fetchBuf        []pipeline.Entry
+		out             []frontend.FetchedInst
+		wrongPath       bool
+		pending         *outstanding
+		prev            pipeline.Entry
+		prevValid       bool
+		lastCorrectSeq  uint64
+		fetchHold       uint64
+		supplyDone      bool
+		validated       uint64
+		res             Result
+		wantRetired     = cfg.MaxInsts
+		decodePenalty   = uint64(cfg.Pipeline.DecodePenalty)
+		resolveDepth    = uint64(cfg.Pipeline.Depth)
+		correctInFlight = 0 // validated but not yet retired
+	)
+	res.Engine = cfg.Engine
+	res.Width = width
+
+	// findEntry locates an in-flight entry by sequence number.
+	findEntry := func(s uint64) *pipeline.Entry {
+		for i := range fetchBuf {
+			if fetchBuf[i].Seq == s {
+				return &fetchBuf[i]
+			}
+		}
+		return rob.Find(s)
+	}
+
+	maxCycles := uint64(1) << 40
+	for cycle < maxCycles {
+		cycle++
+
+		// 1. Retire. Retirement runs before misprediction resolution so
+		// that, on the cycle a branch resolves, the branch itself (and
+		// everything older) has already committed: the engine's
+		// retirement-side state (histories, path registers, stream
+		// builders) then includes the diverging stream when Redirect
+		// copies it into the speculative state.
+		for k := 0; k < width && rob.Len() > 0; k++ {
+			h := rob.Head()
+			if h.WrongPath || h.DoneCycle > cycle {
+				break
+			}
+			if h.Branch != isa.BranchNone && h.ResolveCycle > cycle {
+				break
+			}
+			// Hold the newest validated branch until its successor
+			// has been checked (divergence detection needs the next
+			// fetch).
+			if !supplyDone && h.Seq == lastCorrectSeq && h.Branch != isa.BranchNone && !wrongPath {
+				if _, more := p.supply.peek(); more {
+					break
+				}
+			}
+			e := rob.PopHead()
+			res.Retired++
+			correctInFlight--
+			if e.Branch != isa.BranchNone {
+				res.Branches++
+				if e.Mispredicted {
+					res.Mispredicted++
+					res.MispredByType[e.Branch]++
+					if cfg.OnMispredict != nil {
+						cfg.OnMispredict(e.Addr, e.Branch, e.Taken, res.Retired)
+					}
+				}
+			}
+			cm := frontend.Committed{
+				Addr:         e.Addr,
+				Branch:       e.Branch,
+				Taken:        e.Taken,
+				Target:       e.Target,
+				Mispredicted: e.Mispredicted,
+			}
+			if cfg.OnCommit != nil {
+				cfg.OnCommit(cm)
+			}
+			p.engine.Commit(cm)
+		}
+		// 2. Resolve an outstanding misprediction.
+		if pending != nil && cycle >= pending.resolve {
+			if debugSquash != nil {
+				for i := 0; i < rob.Len(); i++ {
+					e := rob.Find2(i)
+					if e.Seq > pending.seq && !e.WrongPath {
+						debugSquash(*e)
+					}
+				}
+				for i := range fetchBuf {
+					if fetchBuf[i].Seq > pending.seq && !fetchBuf[i].WrongPath {
+						debugSquash(fetchBuf[i])
+					}
+				}
+			}
+			rob.SquashAfter(pending.seq)
+			for i := range fetchBuf {
+				if fetchBuf[i].Seq > pending.seq {
+					fetchBuf = fetchBuf[:i]
+					break
+				}
+			}
+			p.engine.Redirect(pending.recovery, true)
+			wrongPath = false
+			prevValid = false
+			pending = nil
+		}
+		if wantRetired > 0 && res.Retired >= wantRetired {
+			break
+		}
+		if supplyDone && correctInFlight == 0 && pending == nil {
+			break
+		}
+
+		// 3. Issue fetch buffer into the ROB.
+		for k := 0; k < width && len(fetchBuf) > 0 && !rob.Full(); k++ {
+			e := fetchBuf[0]
+			fetchBuf = fetchBuf[1:]
+			e.DoneCycle = cycle + uint64(lat.For(&e))
+			rob.Push(e)
+		}
+
+		// 4. Fetch.
+		if supplyDone && !wrongPath {
+			continue // nothing correct left to fetch
+		}
+		if cycle < fetchHold || len(fetchBuf)+width > fetchBufCap {
+			continue
+		}
+		out = p.engine.Cycle(out[:0])
+		for _, fi := range out {
+			// Decode-stage consistency check against the previous
+			// fetched instruction.
+			if prevValid {
+				if fix, bad := p.staticCheck(prev, fi.Addr); bad {
+					p.engine.Redirect(fix, false)
+					fetchHold = cycle + decodePenalty
+					prevValid = false
+					res.Misfetches++
+					if cfg.OnMisfetch != nil {
+						cfg.OnMisfetch(prev.Addr, prev.Branch, fi.Addr, fix, wrongPath, prev.WrongPath, prev.Taken, prev.Seq)
+					}
+					break
+				}
+			}
+			seq++
+			e := pipeline.Entry{
+				Seq:          seq,
+				Addr:         fi.Addr,
+				Class:        fi.Inst.Class,
+				Branch:       fi.Inst.Branch,
+				FetchCycle:   cycle,
+				ResolveCycle: cycle + resolveDepth,
+			}
+			if !wrongPath {
+				c, more := p.supply.peek()
+				if !more {
+					supplyDone = true
+					break
+				}
+				if fi.Addr == c.Addr {
+					if debugValidateHook != nil {
+						debugValidateHook(fi.Addr)
+					}
+					e.Class = c.Class
+					e.Branch = c.Branch
+					e.Taken = c.Taken
+					if c.Taken {
+						e.Target = c.NextAddr
+					}
+					p.supply.advance()
+					lastCorrectSeq = seq
+					validated++
+					correctInFlight++
+				} else {
+					// Divergence: the previous correct-path
+					// instruction was mispredicted.
+					me := findEntry(lastCorrectSeq)
+					if me == nil {
+						panic("sim: diverging entry already retired")
+					}
+					me.Mispredicted = true
+					me.Recovery = c.Addr
+					pending = &outstanding{
+						seq:      me.Seq,
+						resolve:  me.ResolveCycle,
+						recovery: c.Addr,
+					}
+					wrongPath = true
+					e.WrongPath = true
+				}
+			} else {
+				e.WrongPath = true
+			}
+			fetchBuf = append(fetchBuf, e)
+			prev = e
+			prevValid = true
+		}
+	}
+
+	res.Cycles = cycle
+	if cycle > 0 {
+		res.IPC = float64(res.Retired) / float64(cycle)
+	}
+	if res.Branches > 0 {
+		res.MispredRate = float64(res.Mispredicted) / float64(res.Branches)
+	}
+	res.Fetch = p.engine.FetchStats()
+	res.FetchIPC = res.Fetch.FetchIPC()
+	res.ICache = p.hier.ICache.Stats()
+	res.DCache = p.hier.DCache.Stats()
+	res.L2 = p.hier.L2.Stats()
+	return res
+}
+
+// staticCheck verifies that the transition prev→cur is consistent with the
+// static code, as the decode stage would. It returns the redirect target
+// when the transition is impossible.
+func (p *Processor) staticCheck(prev pipeline.Entry, cur isa.Addr) (fix isa.Addr, bad bool) {
+	seqNext := prev.Addr.Next()
+	if cur == seqNext {
+		// Sequential flow: impossible after a direct unconditional
+		// transfer (decode computes the target and redirects).
+		switch prev.Branch {
+		case isa.BranchUncond, isa.BranchCall:
+			if t, ok := p.lay.StaticTarget(prev.Addr); ok {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+	// Taken transition.
+	switch prev.Branch {
+	case isa.BranchNone:
+		// A non-branch cannot transfer control: the predicted unit was
+		// too short; decode resumes at the fall-through.
+		return seqNext, true
+	case isa.BranchCond, isa.BranchUncond, isa.BranchCall:
+		if t, ok := p.lay.StaticTarget(prev.Addr); ok && cur != t {
+			return t, true
+		}
+		return 0, false
+	default:
+		// Returns and indirects cannot be verified at decode.
+		return 0, false
+	}
+}
+
+// SetDebugValidate installs a hook observing every validation.
+func SetDebugValidate(f func(a isa.Addr)) { debugValidateHook = f }
+
+var debugValidateHook func(a isa.Addr)
+
+// SetDebugSquash installs a hook observing squashed non-wrong-path entries.
+func SetDebugSquash(f func(e pipeline.Entry)) { debugSquash = f }
+
+// debugSquash, when set by tests, observes squashed entries that were not
+// wrong-path (which should be impossible).
+var debugSquash func(e pipeline.Entry)
+
+// Run is a convenience: build and run one simulation.
+func Run(lay *layout.Layout, tr *trace.Trace, cfg Config) Result {
+	return New(lay, tr, cfg).Run()
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"streamfetch/internal/layout"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+type bench struct {
+	lay *layout.Layout
+	opt *layout.Layout
+	tr  *trace.Trace
+}
+
+func loadBench(t testing.TB, name string, insts uint64) bench {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	prog := workload.Generate(p)
+	prof := trace.CollectProfile(prog, 7, insts/2)
+	tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: insts})
+	return bench{
+		lay: layout.Baseline(prog),
+		opt: layout.Optimized(prog, prof),
+		tr:  tr,
+	}
+}
+
+func TestRunAllEnginesComplete(t *testing.T) {
+	b := loadBench(t, "164.gzip", 200_000)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			r := Run(b.opt, b.tr, Config{Width: 8, Engine: kind})
+			t.Logf("%v", r)
+			if r.Retired == 0 {
+				t.Fatal("retired no instructions")
+			}
+			if r.IPC <= 0.2 || r.IPC > 8 {
+				t.Errorf("implausible IPC %.3f", r.IPC)
+			}
+			if r.Branches == 0 {
+				t.Error("no branches committed")
+			}
+			if r.MispredRate > 0.25 {
+				t.Errorf("implausible misprediction rate %.3f", r.MispredRate)
+			}
+			if r.Cycles == 0 || r.Cycles > 100*r.Retired {
+				t.Errorf("implausible cycle count %d for %d instructions", r.Cycles, r.Retired)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	b := loadBench(t, "175.vpr", 100_000)
+	r1 := Run(b.opt, b.tr, Config{Width: 4, Engine: EngineStreams})
+	r2 := Run(b.opt, b.tr, Config{Width: 4, Engine: EngineStreams})
+	if r1 != r2 {
+		t.Fatalf("results differ between identical runs:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestWiderPipeFasterOrEqual(t *testing.T) {
+	b := loadBench(t, "164.gzip", 150_000)
+	r2 := Run(b.opt, b.tr, Config{Width: 2, Engine: EngineStreams})
+	r8 := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineStreams})
+	t.Logf("2-wide IPC %.3f, 8-wide IPC %.3f", r2.IPC, r8.IPC)
+	if r8.IPC < r2.IPC {
+		t.Errorf("8-wide IPC %.3f below 2-wide %.3f", r8.IPC, r2.IPC)
+	}
+}
+
+func TestMaxInstsLimits(t *testing.T) {
+	b := loadBench(t, "164.gzip", 150_000)
+	r := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineEV8, MaxInsts: 20_000})
+	if r.Retired < 20_000 || r.Retired > 20_000+64 {
+		t.Errorf("retired %d, want about 20000", r.Retired)
+	}
+}

@@ -1,0 +1,169 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness needs: means, harmonic means (the paper aggregates IPC with
+// harmonic means over the SPECint2000 suite), rates and histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean; zero or negative elements yield 0.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// GeoMean returns the geometric mean; zero or negative elements yield 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Speedup returns (a/b - 1), the relative improvement of a over b.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a/b - 1
+}
+
+// Histogram accumulates integer samples for distribution reports (e.g.
+// stream length distributions).
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+	h.sum += int64(v)
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// samples are <= v.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := uint64(math.Ceil(p * float64(h.total)))
+	var acc uint64
+	for _, k := range keys {
+		acc += h.counts[k]
+		if acc >= target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d p99=%d",
+		h.total, h.Mean(), h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99))
+}
+
+// Table renders fixed-width rows for terminal reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("HarmonicMean of ones = %v", got)
+	}
+	got := HarmonicMean([]float64{2, 4})
+	if math.Abs(got-8.0/3) > 1e-12 {
+		t.Fatalf("HarmonicMean(2,4) = %v, want 8/3", got)
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Fatal("zero element must yield 0")
+	}
+}
+
+func TestHarmonicLeqGeoLeqArithmetic(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		h, g, m := HarmonicMean(xs), GeoMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g+eps && g <= m+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.1, 1.0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatal("division by zero not guarded")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if h.N() != 100 || h.Mean() != 50.5 {
+		t.Fatalf("n=%d mean=%v", h.N(), h.Mean())
+	}
+	if p := h.Percentile(0.5); p != 50 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(0.99); p != 99 {
+		t.Fatalf("p99 = %d", p)
+	}
+	if !strings.Contains(h.String(), "n=100") {
+		t.Fatalf("summary = %q", h.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "alpha") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,106 @@
+// The fill unit: commit-side trace construction. Retired instructions are
+// segmented into traces using the same rules the fetch side predicts with
+// (length cap, conditional-branch cap, mandatory break at indirect branches
+// and returns), so predictor training and trace storage see consistent
+// trace boundaries.
+package tcache
+
+import "streamfetch/internal/isa"
+
+// FillUnit accumulates committed instructions into traces.
+type FillUnit struct {
+	cfg     Config
+	pending Trace
+	// sawTaken marks a taken branch before the current final slot.
+	mispredicted bool
+}
+
+// NewFillUnit builds a fill unit starting its first trace at entry.
+func NewFillUnit(cfg Config, entry isa.Addr) *FillUnit {
+	f := &FillUnit{cfg: cfg}
+	f.reset(entry)
+	return f
+}
+
+func (f *FillUnit) reset(start isa.Addr) {
+	f.pending = Trace{ID: ID{Start: start}}
+	f.pending.Inst = f.pending.Inst[:0]
+	f.mispredicted = false
+}
+
+// Commit consumes one retired instruction. When the instruction closes a
+// trace, the completed trace is returned along with whether its prediction
+// had failed.
+func (f *FillUnit) Commit(addr isa.Addr, inst isa.Inst, taken bool, target isa.Addr, mispredicted bool) (tr Trace, wasMispredicted, ok bool) {
+	if len(f.pending.Inst) == 0 {
+		f.pending.ID.Start = addr
+	}
+	if mispredicted {
+		f.mispredicted = true
+	}
+	isCond := inst.Branch == isa.BranchCond
+	if isCond {
+		if taken {
+			f.pending.ID.Dirs |= 1 << f.pending.ID.NCond
+		}
+		f.pending.ID.NCond++
+	}
+	f.pending.Inst = append(f.pending.Inst, TraceInst{Addr: addr, Inst: inst})
+
+	endsHere := false
+	next := addr.Next()
+	term := isa.BranchNone
+	switch {
+	case inst.Branch.IsIndirect() || inst.Branch.IsReturn():
+		endsHere = true
+		term = inst.Branch
+		next = target
+	case len(f.pending.Inst) >= f.cfg.MaxLen:
+		endsHere = true
+		if inst.Branch != isa.BranchNone {
+			term = inst.Branch
+		}
+		if taken {
+			next = target
+		}
+	case isCond && int(f.pending.ID.NCond) >= f.cfg.MaxCond:
+		endsHere = true
+		term = inst.Branch
+		if taken {
+			next = target
+		}
+	case mispredicted:
+		// A misprediction breaks trace construction: close the trace
+		// here so fetch- and commit-side boundaries re-align at the
+		// recovery point.
+		endsHere = true
+		if inst.Branch != isa.BranchNone {
+			term = inst.Branch
+		}
+		if taken {
+			next = target
+		}
+	}
+	if !endsHere {
+		// A taken transfer that does not end the trace makes it
+		// non-sequential ("red"): such traces cannot be fetched from
+		// the instruction cache as one run and are worth storing.
+		// A trace whose only taken branch is its final instruction
+		// stays "blue" (sequential) and is filtered by selective
+		// trace storage.
+		if inst.Branch != isa.BranchNone && taken {
+			f.pending.Red = true
+		}
+		return Trace{}, false, false
+	}
+	f.pending.Next = next
+	f.pending.TermType = term
+	tr = f.pending
+	wasMispredicted = f.mispredicted
+	f.reset(next)
+	return tr, wasMispredicted, true
+}
+
+// PendingStart returns the start address of the trace under construction
+// (used by tests).
+func (f *FillUnit) PendingStart() isa.Addr { return f.pending.ID.Start }

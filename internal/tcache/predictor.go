@@ -1,0 +1,201 @@
+// The path-based next trace predictor (Jacobson, Rotenberg & Smith,
+// MICRO 1997), in the cascaded organization of Table 2: a first-level table
+// indexed by the current fetch address and a second-level table indexed by a
+// DOLC hash of the preceding trace start addresses.
+package tcache
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/isa"
+)
+
+// Pred is one trace prediction: the identity of the trace expected to start
+// at the lookup address, and the fetch address that follows it.
+type Pred struct {
+	ID       ID
+	Len      int
+	Next     isa.Addr
+	TermType isa.BranchType
+}
+
+type predEntry struct {
+	valid bool
+	stamp uint64
+	tag   uint64
+	dirs  uint8
+	ncond uint8
+	len   uint8
+	term  isa.BranchType
+	next  isa.Addr
+	ctr   bpred.TwoBit
+}
+
+func (e *predEntry) matches(p Pred) bool {
+	return e.dirs == p.ID.Dirs && e.ncond == p.ID.NCond &&
+		int(e.len) == p.Len && e.next == p.Next && e.term == p.TermType
+}
+
+type predTable struct {
+	sets    [][]predEntry
+	setBits uint
+	clock   uint64
+}
+
+func newPredTable(entries, ways int) *predTable {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("tcache: bad predictor geometry")
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic("tcache: predictor set count must be a power of two")
+	}
+	t := &predTable{sets: make([][]predEntry, nsets)}
+	for i := range t.sets {
+		t.sets[i] = make([]predEntry, ways)
+	}
+	for b := nsets; b > 1; b >>= 1 {
+		t.setBits++
+	}
+	return t
+}
+
+func (t *predTable) lookup(idx, tag uint64) *predEntry {
+	for i := range t.sets[idx] {
+		e := &t.sets[idx][i]
+		if e.valid && e.tag == tag {
+			t.clock++
+			e.stamp = t.clock
+			return e
+		}
+	}
+	return nil
+}
+
+func (t *predTable) update(idx, tag uint64, p Pred, insertOnMiss bool) {
+	set := t.sets[idx]
+	if e := t.lookup(idx, tag); e != nil {
+		if e.matches(p) {
+			// Re-saturate on every confirmation (like 2bcgskew's
+			// partial update): an established stream only yields its
+			// entry after several *consecutive* contradictions, so
+			// Bernoulli noise cannot flip-flop the entry.
+			e.ctr = 3
+		} else {
+			if e.ctr > 0 {
+				e.ctr--
+			}
+			if e.ctr == 0 {
+				e.dirs = p.ID.Dirs
+				e.ncond = p.ID.NCond
+				e.len = uint8(p.Len)
+				e.term = p.TermType
+				e.next = p.Next
+				e.ctr = 1
+			}
+		}
+		return
+	}
+	if !insertOnMiss {
+		return
+	}
+	// LRU insertion; hysteresis arbitrates only same-tag versions.
+	t.clock++
+	v := 0
+	for i := range set {
+		if !set[i].valid {
+			v = i
+			break
+		}
+		if set[i].stamp < set[v].stamp {
+			v = i
+		}
+	}
+	set[v] = predEntry{
+		valid: true, stamp: t.clock, tag: tag,
+		dirs: p.ID.Dirs, ncond: p.ID.NCond,
+		len: uint8(p.Len), term: p.TermType, next: p.Next, ctr: 1,
+	}
+}
+
+// Predictor is the cascaded next trace predictor.
+type Predictor struct {
+	cfg Config
+	t1  *predTable
+	t2  *predTable
+
+	SpecPath *bpred.PathHist
+	RetPath  *bpred.PathHist
+
+	lookups, hits uint64
+}
+
+// NewPredictor builds the predictor.
+func NewPredictor(cfg Config) *Predictor {
+	return &Predictor{
+		cfg:      cfg,
+		t1:       newPredTable(cfg.FirstEntries, cfg.FirstWays),
+		t2:       newPredTable(cfg.SecondEntries, cfg.SecondWays),
+		SpecPath: bpred.NewPathHist(cfg.DOLC.Depth),
+		RetPath:  bpred.NewPathHist(cfg.DOLC.Depth),
+	}
+}
+
+func (p *Predictor) t1Index(start isa.Addr) (idx, tag uint64) {
+	x := uint64(start) >> 2
+	return x & ((1 << p.t1.setBits) - 1), x
+}
+
+func (p *Predictor) t2Index(start isa.Addr, hist *bpred.PathHist) (idx, tag uint64) {
+	return p.cfg.DOLC.Hash(hist, uint64(start), p.t2.setBits), uint64(start) >> 2
+}
+
+// Predict looks up the trace expected at start.
+func (p *Predictor) Predict(start isa.Addr) (Pred, bool) {
+	p.lookups++
+	i2, tag2 := p.t2Index(start, p.SpecPath)
+	if e := p.t2.lookup(i2, tag2); e != nil {
+		p.hits++
+		return entryPred(start, e), true
+	}
+	i1, tag1 := p.t1Index(start)
+	if e := p.t1.lookup(i1, tag1); e != nil {
+		p.hits++
+		return entryPred(start, e), true
+	}
+	return Pred{}, false
+}
+
+func entryPred(start isa.Addr, e *predEntry) Pred {
+	return Pred{
+		ID:       ID{Start: start, Dirs: e.dirs, NCond: e.ncond},
+		Len:      int(e.len),
+		Next:     e.next,
+		TermType: e.term,
+	}
+}
+
+// OnPredict records a predicted trace start into the speculative path
+// history.
+func (p *Predictor) OnPredict(start isa.Addr) { p.SpecPath.Push(uint64(start)) }
+
+// Update learns a completed trace at retirement; mispredicted traces are
+// upgraded into the path-correlated table.
+func (p *Predictor) Update(pr Pred, mispredicted bool) {
+	i1, tag1 := p.t1Index(pr.ID.Start)
+	i2, tag2 := p.t2Index(pr.ID.Start, p.RetPath)
+	first := p.t1.lookup(i1, tag1) == nil && p.t2.lookup(i2, tag2) == nil
+	p.t1.update(i1, tag1, pr, true)
+	p.t2.update(i2, tag2, pr, first || mispredicted)
+	p.RetPath.Push(uint64(pr.ID.Start))
+}
+
+// Recover restores the speculative path history.
+func (p *Predictor) Recover() { p.SpecPath.CopyFrom(p.RetPath) }
+
+// HitRate returns the fraction of lookups that hit.
+func (p *Predictor) HitRate() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.lookups)
+}

@@ -1,0 +1,170 @@
+// Package tcache implements the trace cache fetch substrate (Rotenberg,
+// Bennett & Smith): trace segmentation, the trace storage with selective
+// trace storage (red/blue traces, Ramírez et al. HPCA 2000), the path-based
+// cascaded next trace predictor (Jacobson, Rotenberg & Smith), and the
+// commit-side fill unit.
+package tcache
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/isa"
+)
+
+// Config sizes the trace cache architecture (Table 2 defaults via
+// DefaultConfig).
+type Config struct {
+	// MaxLen is the maximum trace length in instructions.
+	MaxLen int
+	// MaxCond is the maximum number of conditional branches per trace.
+	MaxCond int
+	// SizeBytes is the trace cache instruction storage capacity.
+	SizeBytes int
+	// Ways is the trace cache associativity.
+	Ways int
+	// FirstEntries/FirstWays and SecondEntries/SecondWays size the
+	// cascaded next trace predictor.
+	FirstEntries, FirstWays   int
+	SecondEntries, SecondWays int
+	// DOLC is the predictor's path hash shape.
+	DOLC bpred.DOLC
+}
+
+// DefaultConfig returns the paper's Table-2 trace cache setup: 32KB 2-way
+// trace cache, 16-instruction/3-branch traces, 1K-entry 4-way first-level
+// and 4K-entry 4-way second-level predictor, DOLC 9-4-7-9.
+func DefaultConfig() Config {
+	return Config{
+		MaxLen:       16,
+		MaxCond:      3,
+		SizeBytes:    32 << 10,
+		Ways:         2,
+		FirstEntries: 1 << 10, FirstWays: 4,
+		SecondEntries: 4 << 10, SecondWays: 4,
+		DOLC: bpred.DOLC{Depth: 9, Older: 4, Last: 7, Current: 9},
+	}
+}
+
+// ID identifies a trace: start address plus the directions of its embedded
+// conditional branches (bit i = i-th conditional taken).
+type ID struct {
+	Start isa.Addr
+	Dirs  uint8
+	NCond uint8
+}
+
+// TraceInst is one instruction within a stored trace.
+type TraceInst struct {
+	Addr isa.Addr
+	Inst isa.Inst
+}
+
+// Trace is a stored instruction trace.
+type Trace struct {
+	ID   ID
+	Inst []TraceInst
+	// Next is the fetch address following the trace (target of its last
+	// control transfer, or the fall-through).
+	Next isa.Addr
+	// TermType is the branch type of the final instruction (BranchNone
+	// when the trace ended on the length/branch limit without a
+	// transfer).
+	TermType isa.BranchType
+	// Red reports that the trace contains a taken branch before its
+	// final instruction, i.e. it is not fetchable as a sequential run.
+	// Selective trace storage only stores red traces.
+	Red bool
+}
+
+// Len returns the trace length in instructions.
+func (t *Trace) Len() int { return len(t.Inst) }
+
+// Storage is the trace cache proper: set-associative by start address, with
+// the trace ID as tag.
+type Storage struct {
+	sets  [][]storedTrace
+	mask  uint64
+	clock uint64
+
+	lookups, hits uint64
+}
+
+type storedTrace struct {
+	valid bool
+	id    ID
+	tr    Trace
+	stamp uint64
+}
+
+// NewStorage builds a trace cache holding sizeBytes of instruction storage
+// organized as ways-associative sets of maxLen-instruction trace slots.
+func NewStorage(sizeBytes, ways, maxLen int) *Storage {
+	slots := sizeBytes / (maxLen * isa.InstBytes)
+	if slots < ways {
+		slots = ways
+	}
+	nsets := slots / ways
+	// Round down to a power of two.
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	if nsets == 0 {
+		nsets = 1
+	}
+	s := &Storage{sets: make([][]storedTrace, nsets), mask: uint64(nsets - 1)}
+	for i := range s.sets {
+		s.sets[i] = make([]storedTrace, ways)
+	}
+	return s
+}
+
+func (s *Storage) index(id ID) uint64 {
+	return (uint64(id.Start) >> 2) & s.mask
+}
+
+// Lookup returns the stored trace with the given ID.
+func (s *Storage) Lookup(id ID) (*Trace, bool) {
+	s.lookups++
+	set := s.sets[s.index(id)]
+	for i := range set {
+		if set[i].valid && set[i].id == id {
+			s.clock++
+			set[i].stamp = s.clock
+			s.hits++
+			return &set[i].tr, true
+		}
+	}
+	return nil, false
+}
+
+// Insert stores a trace (LRU replacement within its set). Blue traces are
+// rejected by the caller (selective trace storage).
+func (s *Storage) Insert(tr Trace) {
+	set := s.sets[s.index(tr.ID)]
+	s.clock++
+	for i := range set {
+		if set[i].valid && set[i].id == tr.ID {
+			set[i].tr = tr
+			set[i].stamp = s.clock
+			return
+		}
+	}
+	v := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			v = i
+			break
+		}
+		if set[i].stamp < set[v].stamp {
+			v = i
+		}
+	}
+	set[v] = storedTrace{valid: true, id: tr.ID, tr: tr, stamp: s.clock}
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (s *Storage) HitRate() float64 {
+	if s.lookups == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.lookups)
+}

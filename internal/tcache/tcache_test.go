@@ -1,0 +1,172 @@
+package tcache
+
+import (
+	"testing"
+
+	"streamfetch/internal/isa"
+)
+
+func mkInst(a isa.Addr, bt isa.BranchType) isa.Inst {
+	c := isa.ClassALU
+	if bt != isa.BranchNone {
+		c = isa.ClassBranch
+	}
+	return isa.Inst{Addr: a, Class: c, Branch: bt}
+}
+
+func TestFillUnitClosesAtLengthCap(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewFillUnit(cfg, 0x1000)
+	var tr Trace
+	var ok bool
+	for i := 0; ; i++ {
+		tr, _, ok = f.Commit(isa.Addr(0x1000+4*i), mkInst(isa.Addr(0x1000+4*i), isa.BranchNone), false, 0, false)
+		if ok {
+			break
+		}
+		if i > 100 {
+			t.Fatal("length cap never closed a trace")
+		}
+	}
+	if tr.Len() != cfg.MaxLen {
+		t.Fatalf("trace length %d, want %d", tr.Len(), cfg.MaxLen)
+	}
+	if tr.Red {
+		t.Fatal("sequential trace marked red")
+	}
+}
+
+func TestFillUnitClosesAtCondCap(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewFillUnit(cfg, 0x1000)
+	a := isa.Addr(0x1000)
+	n := 0
+	for i := 0; i < cfg.MaxCond; i++ {
+		_, _, ok := f.Commit(a, mkInst(a, isa.BranchNone), false, 0, false)
+		if ok {
+			t.Fatal("closed early")
+		}
+		a = a.Next()
+		n++
+		tr, _, ok := f.Commit(a, mkInst(a, isa.BranchCond), false, 0, false)
+		n++
+		if i < cfg.MaxCond-1 {
+			if ok {
+				t.Fatalf("closed after %d conditionals", i+1)
+			}
+		} else {
+			if !ok {
+				t.Fatal("did not close at the conditional cap")
+			}
+			if int(tr.ID.NCond) != cfg.MaxCond {
+				t.Fatalf("NCond = %d, want %d", tr.ID.NCond, cfg.MaxCond)
+			}
+			if tr.Len() != n {
+				t.Fatalf("trace length %d, want %d", tr.Len(), n)
+			}
+		}
+		a = a.Next()
+	}
+}
+
+func TestFillUnitBreaksAtReturn(t *testing.T) {
+	f := NewFillUnit(DefaultConfig(), 0x1000)
+	f.Commit(0x1000, mkInst(0x1000, isa.BranchNone), false, 0, false)
+	tr, _, ok := f.Commit(0x1004, mkInst(0x1004, isa.BranchReturn), true, 0x9000, false)
+	if !ok {
+		t.Fatal("return did not close the trace")
+	}
+	if tr.TermType != isa.BranchReturn || tr.Next != 0x9000 {
+		t.Fatalf("trace = %+v", tr)
+	}
+}
+
+func TestFillUnitRedDetection(t *testing.T) {
+	f := NewFillUnit(DefaultConfig(), 0x1000)
+	// Taken unconditional jump mid-trace: the trace spans non-sequential
+	// addresses and must be red.
+	f.Commit(0x1000, mkInst(0x1000, isa.BranchUncond), true, 0x2000, false)
+	f.Commit(0x2000, mkInst(0x2000, isa.BranchNone), false, 0, false)
+	tr, _, ok := f.Commit(0x2004, mkInst(0x2004, isa.BranchReturn), true, 0x3000, false)
+	if !ok {
+		t.Fatal("trace did not close")
+	}
+	if !tr.Red {
+		t.Fatal("non-sequential trace not marked red")
+	}
+	if tr.ID.Dirs != 0 || tr.ID.NCond != 0 {
+		t.Fatalf("uncond polluted the direction vector: %+v", tr.ID)
+	}
+}
+
+func TestFillUnitDirsVector(t *testing.T) {
+	f := NewFillUnit(DefaultConfig(), 0x1000)
+	f.Commit(0x1000, mkInst(0x1000, isa.BranchCond), true, 0x2000, false) // taken -> bit 0
+	f.Commit(0x2000, mkInst(0x2000, isa.BranchCond), false, 0, false)     // not taken -> bit 1 clear
+	tr, _, ok := f.Commit(0x2004, mkInst(0x2004, isa.BranchCond), true, 0x4000, false)
+	if !ok {
+		t.Fatal("third conditional (cap 3) did not close the trace")
+	}
+	if tr.ID.Dirs != 0b101 || tr.ID.NCond != 3 {
+		t.Fatalf("dirs=%b ncond=%d, want 101/3", tr.ID.Dirs, tr.ID.NCond)
+	}
+}
+
+func TestStorageSelective(t *testing.T) {
+	s := NewStorage(32<<10, 2, 16)
+	red := Trace{ID: ID{Start: 0x1000, Dirs: 1, NCond: 1}, Red: true,
+		Inst: []TraceInst{{Addr: 0x1000}}}
+	s.Insert(red)
+	if _, ok := s.Lookup(red.ID); !ok {
+		t.Fatal("inserted trace missing")
+	}
+	if _, ok := s.Lookup(ID{Start: 0x1000, Dirs: 0, NCond: 1}); ok {
+		t.Fatal("lookup matched a different direction vector")
+	}
+}
+
+func TestStorageLRU(t *testing.T) {
+	s := NewStorage(2*16*4, 2, 16) // 2 slots, 1 set, 2 ways
+	mk := func(start isa.Addr) Trace {
+		return Trace{ID: ID{Start: start}, Inst: []TraceInst{{Addr: start}}}
+	}
+	s.Insert(mk(0x100))
+	s.Insert(mk(0x200))
+	s.Lookup(ID{Start: 0x100})
+	s.Insert(mk(0x300)) // evicts 0x200
+	if _, ok := s.Lookup(ID{Start: 0x100}); !ok {
+		t.Fatal("recently used trace evicted")
+	}
+	if _, ok := s.Lookup(ID{Start: 0x200}); ok {
+		t.Fatal("LRU trace survived")
+	}
+}
+
+func TestPredictorLearnsTraceChain(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	a := Pred{ID: ID{Start: 0x1000, Dirs: 1, NCond: 1}, Len: 10, Next: 0x2000, TermType: isa.BranchCond}
+	b := Pred{ID: ID{Start: 0x2000}, Len: 16, Next: 0x1000, TermType: isa.BranchUncond}
+	for round := 0; round < 4; round++ {
+		for _, pr := range []Pred{a, b} {
+			got, hit := p.Predict(pr.ID.Start)
+			mis := !hit || got != pr
+			p.OnPredict(pr.ID.Start)
+			p.Update(pr, mis)
+		}
+	}
+	got, hit := p.Predict(a.ID.Start)
+	if !hit || got != a {
+		t.Fatalf("Predict = %+v hit=%v, want %+v", got, hit, a)
+	}
+}
+
+func TestPredictorHitRate(t *testing.T) {
+	p := NewPredictor(DefaultConfig())
+	if p.HitRate() != 0 {
+		t.Fatal("idle predictor hit rate non-zero")
+	}
+	p.Predict(0x1)
+	if p.HitRate() != 0 {
+		t.Fatal("cold miss counted as hit")
+	}
+}

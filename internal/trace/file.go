@@ -1,0 +1,112 @@
+// Binary trace file format. Traces can be written once and replayed by many
+// simulations, mirroring the paper's trace-driven methodology. The format is
+// a magic header followed by zig-zag varint deltas of block IDs, which
+// compresses loopy traces well.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"streamfetch/internal/cfg"
+)
+
+const (
+	magic   = "STRMTRC1"
+	maxName = 1 << 10
+)
+
+// Write serializes t to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if len(t.Name) > maxName {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(hdr[:], v)
+		_, err := bw.Write(hdr[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := writeUvarint(t.Insts); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Blocks))); err != nil {
+		return err
+	}
+	prev := int64(0)
+	var buf [binary.MaxVarintLen64]byte
+	for _, id := range t.Blocks {
+		delta := int64(id) - prev
+		prev = int64(id)
+		n := binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > maxName {
+		return nil, fmt.Errorf("trace: name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	insts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading instruction count: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading block count: %w", err)
+	}
+	const maxBlocks = 1 << 32
+	if count > maxBlocks {
+		return nil, fmt.Errorf("trace: block count %d exceeds limit", count)
+	}
+	t := &Trace{
+		Name:   string(name),
+		Insts:  insts,
+		Blocks: make([]cfg.BlockID, 0, count),
+	}
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading block %d: %w", i, err)
+		}
+		prev += delta
+		if prev < 0 {
+			return nil, fmt.Errorf("trace: negative block ID at record %d", i)
+		}
+		t.Blocks = append(t.Blocks, cfg.BlockID(prev))
+	}
+	return t, nil
+}

@@ -1,0 +1,262 @@
+// Package trace executes a program CFG to produce dynamic traces: the
+// sequence of basic blocks a run visits. Branch behaviour (bias, loop trip
+// counts, repeating patterns, indirect target selection) is driven by a
+// seeded PRNG plus per-branch runtime state, so traces are deterministic and
+// reproducible.
+//
+// The dynamic block sequence is layout-independent; package layout expands
+// it to concrete instruction addresses under a given code layout. The
+// package also implements a compact binary on-disk trace format, standing in
+// for the paper's 300M-instruction SPEC2000 trace files.
+package trace
+
+import (
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/xrand"
+)
+
+// Trace is a dynamic execution of a program, recorded at basic-block
+// granularity (the paper's simulator is trace driven with a static basic
+// block dictionary; this is the same representation).
+type Trace struct {
+	// Name is the benchmark name.
+	Name string
+	// Blocks is the dynamic basic-block sequence.
+	Blocks []cfg.BlockID
+	// Insts is the total CFG-level instruction count (layout extras such
+	// as materialized or elided jumps not included).
+	Insts uint64
+}
+
+// GenConfig controls trace generation.
+type GenConfig struct {
+	// Seed drives branch behaviour. Different seeds model different
+	// inputs (the paper uses train input for profiling and ref input for
+	// measurement).
+	Seed uint64
+	// MaxInsts stops generation once this many CFG-level instructions
+	// have been emitted.
+	MaxInsts uint64
+	// Profile, if non-nil, accumulates block and chainable-edge counts
+	// during generation (used to drive the layout optimizer).
+	Profile *cfg.Profile
+}
+
+// branchState holds per-static-branch runtime state.
+type branchState struct {
+	// remaining is the number of loop-body iterations left (CondLoop).
+	remaining int
+	active    bool
+	// pos is the position within the repeating pattern (CondPattern).
+	pos int
+	// prevArm is the previously chosen arm of an indirect branch
+	// (first-order Markov dispatch).
+	prevArm int
+}
+
+// Generator walks a CFG emitting the dynamic block sequence. It can be used
+// incrementally (Next) or in one shot (Generate).
+type Generator struct {
+	prog  *cfg.Program
+	rng   *xrand.RNG
+	state []branchState
+	stack []cfg.BlockID // continuation blocks of active calls
+	cur   cfg.BlockID
+	insts uint64
+	prof  *cfg.Profile
+}
+
+// NewGenerator returns a generator positioned at the program entry.
+func NewGenerator(p *cfg.Program, seed uint64, prof *cfg.Profile) *Generator {
+	return &Generator{
+		prog:  p,
+		rng:   xrand.New(seed),
+		state: make([]branchState, len(p.Blocks)),
+		cur:   p.Entry,
+		prof:  prof,
+	}
+}
+
+// Next returns the next executed block. ok is false once the program has
+// terminated (a return with an empty call stack).
+func (g *Generator) Next() (id cfg.BlockID, ok bool) {
+	if g.cur == cfg.NoBlock {
+		return cfg.NoBlock, false
+	}
+	id = g.cur
+	b := g.prog.Blocks[id]
+	g.insts += uint64(b.NInsts)
+	if g.prof != nil {
+		g.prof.AddBlock(id)
+	}
+	next := g.step(b)
+	if g.prof != nil && next != cfg.NoBlock {
+		switch b.Branch {
+		case isa.BranchNone, isa.BranchUncond, isa.BranchCond:
+			g.prof.AddEdge(id, next)
+		}
+	}
+	g.cur = next
+	return id, true
+}
+
+// Insts returns the CFG-level instruction count emitted so far.
+func (g *Generator) Insts() uint64 { return g.insts }
+
+// step evaluates the terminating branch of b and returns the next block.
+func (g *Generator) step(b *cfg.Block) cfg.BlockID {
+	switch b.Branch {
+	case isa.BranchNone, isa.BranchUncond:
+		return b.Succs[0].To
+	case isa.BranchCond:
+		if g.condTakesBranchSide(b) {
+			return b.Succs[1].To
+		}
+		return b.Succs[0].To
+	case isa.BranchCall:
+		g.stack = append(g.stack, b.Cont)
+		return b.Succs[0].To
+	case isa.BranchIndirectCall:
+		g.stack = append(g.stack, b.Cont)
+		return b.Succs[g.pickArm(b)].To
+	case isa.BranchIndirect:
+		return b.Succs[g.pickArm(b)].To
+	case isa.BranchReturn:
+		if len(g.stack) == 0 {
+			return cfg.NoBlock
+		}
+		top := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		return top
+	default:
+		return cfg.NoBlock
+	}
+}
+
+// condTakesBranchSide evaluates a conditional model, returning true when the
+// branch side (Succs[1]) is followed.
+func (g *Generator) condTakesBranchSide(b *cfg.Block) bool {
+	st := &g.state[b.ID]
+	switch b.Cond.Kind {
+	case cfg.CondLoop:
+		if !st.active {
+			trip := b.Cond.Trip
+			if b.Cond.TripJitter > 0 {
+				trip += g.rng.IntRange(-b.Cond.TripJitter, b.Cond.TripJitter)
+			}
+			if trip < 1 {
+				trip = 1
+			}
+			st.active = true
+			st.remaining = trip
+		}
+		if st.remaining > 0 {
+			st.remaining--
+			return true // stay in the loop (branch side is the body)
+		}
+		st.active = false
+		return false // exit
+	case cfg.CondPattern:
+		t := b.Cond.Pattern[st.pos]
+		st.pos++
+		if st.pos == len(b.Cond.Pattern) {
+			st.pos = 0
+		}
+		return t
+	default: // CondBias
+		return g.rng.Bool(b.Cond.P)
+	}
+}
+
+// pickArm selects an indirect-branch arm: with probability IndMarkov the
+// dispatch follows a deterministic cycle over the arms (correlated,
+// path-predictable, as interpreter loops are); otherwise it picks by edge
+// probability.
+func (g *Generator) pickArm(b *cfg.Block) int {
+	st := &g.state[b.ID]
+	if len(b.Succs) > 1 && g.rng.Bool(b.IndMarkov) {
+		st.prevArm = (st.prevArm + 1) % len(b.Succs)
+	} else {
+		st.prevArm = g.pickEdge(b)
+	}
+	return st.prevArm
+}
+
+// pickEdge selects a successor index by edge probability.
+func (g *Generator) pickEdge(b *cfg.Block) int {
+	if len(b.Succs) == 1 {
+		return 0
+	}
+	x := g.rng.Float64()
+	for i, e := range b.Succs {
+		x -= e.Prob
+		if x < 0 {
+			return i
+		}
+	}
+	return len(b.Succs) - 1
+}
+
+// Generate runs the program from its entry and records a trace.
+func Generate(p *cfg.Program, gc GenConfig) *Trace {
+	g := NewGenerator(p, gc.Seed, gc.Profile)
+	est := int(gc.MaxInsts / 5)
+	if est < 16 {
+		est = 16
+	}
+	t := &Trace{Name: p.Name, Blocks: make([]cfg.BlockID, 0, est)}
+	for g.insts < gc.MaxInsts {
+		id, ok := g.Next()
+		if !ok {
+			break
+		}
+		t.Blocks = append(t.Blocks, id)
+	}
+	t.Insts = g.insts
+	return t
+}
+
+// CollectProfile runs a training execution of maxInsts instructions and
+// returns the profile, without materializing the block sequence. This is the
+// pixie+train-input step of the paper's methodology.
+func CollectProfile(p *cfg.Program, seed uint64, maxInsts uint64) *cfg.Profile {
+	prof := cfg.NewProfile(p)
+	g := NewGenerator(p, seed, prof)
+	for g.insts < maxInsts {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	return prof
+}
+
+// Stats summarizes basic dynamic properties of a trace.
+type Stats struct {
+	Blocks        int
+	Insts         uint64
+	MeanBlockLen  float64
+	CondBranches  uint64
+	OtherBranches uint64
+}
+
+// Summarize computes trace statistics against its program.
+func (t *Trace) Summarize(p *cfg.Program) Stats {
+	var s Stats
+	s.Blocks = len(t.Blocks)
+	s.Insts = t.Insts
+	for _, id := range t.Blocks {
+		b := p.Blocks[id]
+		switch b.Branch {
+		case isa.BranchCond:
+			s.CondBranches++
+		case isa.BranchNone:
+		default:
+			s.OtherBranches++
+		}
+	}
+	if s.Blocks > 0 {
+		s.MeanBlockLen = float64(s.Insts) / float64(s.Blocks)
+	}
+	return s
+}

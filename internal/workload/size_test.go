@@ -1,0 +1,24 @@
+package workload
+
+import "testing"
+
+// TestCodeFootprints verifies the suite spans small and large codes: the
+// biggest benchmarks must overflow the 64KB instruction cache so layout
+// optimization has an instruction-memory effect, as in the paper.
+func TestCodeFootprints(t *testing.T) {
+	small, large := 0, 0
+	for _, p := range Suite() {
+		prog := Generate(p)
+		kb := prog.StaticInsts() * 4 / 1024
+		t.Logf("%-14s %5d KB static code", p.Name, kb)
+		if kb < 64 {
+			small++
+		}
+		if kb > 128 {
+			large++
+		}
+	}
+	if large < 3 {
+		t.Errorf("only %d benchmarks exceed 128KB of code", large)
+	}
+}

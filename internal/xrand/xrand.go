@@ -1,0 +1,108 @@
+// Package xrand provides a small, fast, deterministic PRNG (xoshiro-style
+// splitmix fallthrough) used everywhere the simulator needs reproducible
+// pseudo-randomness: workload synthesis, branch behaviour, load addresses.
+// A dedicated generator keeps results bit-identical across Go releases,
+// which math/rand's global source does not guarantee.
+package xrand
+
+// RNG is a splitmix64-seeded xorshift128+ generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// splitmix64 advances the seed state and returns the next 64-bit value; it
+// is used only to expand the user seed into generator state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	s := seed
+	r := &RNG{}
+	r.s0 = splitmix64(&s)
+	r.s1 = splitmix64(&s)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 bits of the sequence.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Geometric returns a sample from a geometric-like distribution with the
+// given mean (minimum 1). It is used for loop trip counts and block sizes.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling of a geometric distribution with success
+	// probability 1/mean, shifted to a minimum of 1.
+	p := 1.0 / mean
+	n := 1
+	for !r.Bool(p) && n < int(mean*8)+8 {
+		n++
+	}
+	return n
+}
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights. A zero total weight picks uniformly.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

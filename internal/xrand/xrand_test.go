@@ -1,0 +1,133 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical values across different seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	n := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			n++
+		}
+	}
+	got := float64(n) / trials
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %.3f", got)
+	}
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := New(13)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntRange(3,5) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("IntRange(3,5) covered %d values, want 3", len(seen))
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(17)
+	sum := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric(6)
+	}
+	mean := float64(sum) / trials
+	if mean < 5.0 || mean > 7.0 {
+		t.Fatalf("Geometric(6) mean %.2f", mean)
+	}
+}
+
+func TestGeometricMinimum(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		if r.Geometric(0.5) != 1 {
+			t.Fatal("Geometric below 1")
+		}
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	r := New(23)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 1})]++
+	}
+	if !(counts[1] > counts[0] && counts[1] > counts[2]) {
+		t.Fatalf("weighted pick ignored weights: %v", counts)
+	}
+}
+
+func TestPickZeroWeights(t *testing.T) {
+	r := New(29)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Pick([]float64{0, 0, 0})] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("zero-weight pick not uniform")
+	}
+}
