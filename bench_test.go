@@ -7,18 +7,23 @@
 // Each benchmark reports the figures it regenerates through b.ReportMetric
 // (IPC, misprediction rates, fetch IPC, unit sizes) so `benchstat` can track
 // them across changes; the full formatted tables come from cmd/experiments.
-package streamfetch
+//
+// This is an external test package (streamfetch_test): it exercises the
+// public session API together with internal/experiments, which itself
+// depends on package streamfetch.
+package streamfetch_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 	"testing"
 
+	"streamfetch"
 	"streamfetch/internal/core"
 	"streamfetch/internal/experiments"
 	"streamfetch/internal/frontend"
-	"streamfetch/internal/sim"
 	"streamfetch/internal/stats"
 )
 
@@ -53,11 +58,10 @@ func BenchmarkFig8IPC(b *testing.B) {
 		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cells := experiments.Sweep(benches, width,
-					[]string{"base", "optimized"}, sim.Kinds(), cfg.Parallel)
+					[]string{"base", "optimized"}, streamfetch.Engines(), cfg.Parallel)
 				h := experiments.HarmonicIPC(cells)
-				for _, e := range sim.Kinds() {
-					b.ReportMetric(h[[2]string{"optimized", string(e)}],
-						string(e)+"-opt-IPC")
+				for _, e := range streamfetch.Engines() {
+					b.ReportMetric(h[[2]string{"optimized", e}], e+"-opt-IPC")
 				}
 			}
 		})
@@ -95,12 +99,12 @@ func BenchmarkTable1UnitSizes(b *testing.B) {
 // fetch IPC per engine on the 8-wide processor with optimized layouts.
 func BenchmarkTable3FetchMetrics(b *testing.B) {
 	benches, cfg := prepared()
-	for _, e := range sim.Kinds() {
+	for _, e := range streamfetch.Engines() {
 		e := e
-		b.Run(string(e), func(b *testing.B) {
+		b.Run(e, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cells := experiments.Sweep(benches, 8,
-					[]string{"optimized"}, []sim.EngineKind{e}, cfg.Parallel)
+					[]string{"optimized"}, []string{e}, cfg.Parallel)
 				var mp, fi []float64
 				for _, c := range cells {
 					mp = append(mp, c.Result.MispredRate)
@@ -111,6 +115,22 @@ func BenchmarkTable3FetchMetrics(b *testing.B) {
 			}
 		})
 	}
+}
+
+// runStreams runs one bench's session with the streams engine on the 8-wide
+// optimized configuration, with per-run overrides.
+func runStreams(b *testing.B, bench experiments.Bench, opts ...streamfetch.Option) *streamfetch.Report {
+	b.Helper()
+	opts = append([]streamfetch.Option{
+		streamfetch.WithWidth(8),
+		streamfetch.WithEngine("streams"),
+		streamfetch.WithOptimizedLayout(),
+	}, opts...)
+	rep, err := bench.Session.RunWith(context.Background(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
 }
 
 // BenchmarkFig7Misalignment sweeps the instruction cache line width (1x, 2x,
@@ -124,21 +144,13 @@ func BenchmarkFig7Misalignment(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var fi []float64
 				for _, bench := range benches {
-					cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams}
-					cfgS = withLineMult(cfgS, mult)
-					r := sim.Run(bench.Opt, bench.Ref, cfgS)
+					r := runStreams(b, bench, streamfetch.WithICacheLineBytes(mult*8*4))
 					fi = append(fi, r.FetchIPC)
 				}
 				b.ReportMetric(stats.HarmonicMean(fi), "fetch-IPC")
 			}
 		})
 	}
-}
-
-func withLineMult(c sim.Config, mult int) sim.Config {
-	c = c.WithDefaults()
-	c.Hier.ICache.LineBytes = mult * c.Width * 4
-	return c
 }
 
 // BenchmarkAblationStreamPredictor compares the next-stream-predictor design
@@ -161,12 +173,11 @@ func BenchmarkAblationStreamPredictor(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var ipc, mp []float64
 				for _, bench := range benches {
-					cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams,
-						Stream: frontend.DefaultStreamConfig()}
+					sc := frontend.DefaultStreamConfig()
 					if v.mut != nil {
-						v.mut(&cfgS.Stream.Predictor)
+						v.mut(&sc.Predictor)
 					}
-					r := sim.Run(bench.Opt, bench.Ref, cfgS)
+					r := runStreams(b, bench, streamfetch.WithEngineOptions(sc))
 					ipc = append(ipc, r.IPC)
 					mp = append(mp, r.MispredRate)
 				}
@@ -199,11 +210,11 @@ func BenchmarkAblationICacheBanks(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var fi []float64
 				for _, bench := range benches {
-					cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams,
-						Stream: frontend.DefaultStreamConfig()}
-					cfgS = withLineMult(cfgS, v.lineMult)
-					cfgS.Stream.ICacheBanks = v.banks
-					r := sim.Run(bench.Opt, bench.Ref, cfgS)
+					sc := frontend.DefaultStreamConfig()
+					sc.ICacheBanks = v.banks
+					r := runStreams(b, bench,
+						streamfetch.WithEngineOptions(sc),
+						streamfetch.WithICacheLineBytes(v.lineMult*8*4))
 					fi = append(fi, r.FetchIPC)
 				}
 				b.ReportMetric(stats.HarmonicMean(fi), "fetch-IPC")
@@ -222,10 +233,9 @@ func BenchmarkAblationFTQDepth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				var ipc []float64
 				for _, bench := range benches {
-					cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams,
-						Stream: frontend.DefaultStreamConfig()}
-					cfgS.Stream.FTQDepth = depth
-					r := sim.Run(bench.Opt, bench.Ref, cfgS)
+					sc := frontend.DefaultStreamConfig()
+					sc.FTQDepth = depth
+					r := runStreams(b, bench, streamfetch.WithEngineOptions(sc))
 					ipc = append(ipc, r.IPC)
 				}
 				b.ReportMetric(stats.HarmonicMean(ipc), "IPC")
@@ -239,13 +249,19 @@ func BenchmarkAblationFTQDepth(b *testing.B) {
 func BenchmarkSimThroughput(b *testing.B) {
 	benches, _ := prepared()
 	bench := benches[0]
-	for _, e := range sim.Kinds() {
+	for _, e := range streamfetch.Engines() {
 		e := e
-		b.Run(string(e), func(b *testing.B) {
+		b.Run(e, func(b *testing.B) {
 			var retired uint64
 			for i := 0; i < b.N; i++ {
-				r := sim.Run(bench.Opt, bench.Ref, sim.Config{Width: 8, Engine: e})
-				retired += r.Retired
+				rep, err := bench.Session.RunWith(context.Background(),
+					streamfetch.WithWidth(8),
+					streamfetch.WithEngine(e),
+					streamfetch.WithOptimizedLayout())
+				if err != nil {
+					b.Fatal(err)
+				}
+				retired += rep.Retired
 			}
 			b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "sim-insts/s")
 		})

@@ -1,18 +1,21 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, as
+// formatted text or as structured JSON.
 //
 // Usage:
 //
-//	experiments -exp all|fig8|fig9|table1|table2|table3|ablation \
-//	            [-insts 2000000] [-bench 164.gzip,176.gcc] [-serial]
+//	experiments -exp all|fig8|fig9|table1|table2|table3|ablation|dist \
+//	            [-insts 2000000] [-bench 164.gzip,176.gcc] [-serial] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"streamfetch"
 	"streamfetch/internal/experiments"
 )
 
@@ -21,6 +24,7 @@ func main() {
 	insts := flag.Uint64("insts", 2_000_000, "dynamic trace length per benchmark")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
+	asJSON := flag.Bool("json", false, "emit the experiments as a JSON array instead of text")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -32,7 +36,11 @@ func main() {
 	}
 
 	if *exp == "table2" {
-		experiments.Table2(os.Stdout)
+		if *asJSON {
+			emitJSON([]*streamfetch.Experiment{experiments.Table2Data()})
+		} else {
+			experiments.Table2Data().WriteText(os.Stdout)
+		}
 		return
 	}
 
@@ -42,42 +50,76 @@ func main() {
 	benches := experiments.Prepare(cfg)
 	fmt.Fprintf(os.Stderr, "prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
 
+	// Each producer computes one batch of experiments; text mode renders
+	// a batch as soon as it is ready, JSON mode collects everything into
+	// one array.
+	type producer func() []*streamfetch.Experiment
+	one := func(f func() *streamfetch.Experiment) producer {
+		return func() []*streamfetch.Experiment { return []*streamfetch.Experiment{f()} }
+	}
+	table2 := one(experiments.Table2Data)
+	table1 := one(func() *streamfetch.Experiment { return experiments.Table1Data(benches) })
+	fig8 := func() []*streamfetch.Experiment { return experiments.Fig8Data(benches, cfg) }
+	fig9 := one(func() *streamfetch.Experiment { return experiments.Fig9Data(benches, cfg) })
+	table3 := one(func() *streamfetch.Experiment { return experiments.Table3Data(benches, cfg) })
+	ablation := one(func() *streamfetch.Experiment { return experiments.AblationData(benches, cfg) })
+	dist := one(func() *streamfetch.Experiment { return experiments.DistributionData(benches) })
+
+	var producers []producer
 	switch *exp {
 	case "all":
-		experiments.Table2(os.Stdout)
-		fmt.Println()
-		experiments.Table1(os.Stdout, benches)
-		fmt.Println()
-		experiments.Fig8(os.Stdout, benches, cfg)
-		experiments.Fig9(os.Stdout, benches, cfg)
-		fmt.Println()
-		experiments.Table3(os.Stdout, benches, cfg)
-		fmt.Println()
-		experiments.Ablation(os.Stdout, benches, cfg)
-		fmt.Println()
-		experiments.Distribution(os.Stdout, benches)
+		producers = []producer{table2, table1, fig8, fig9, table3, ablation, dist}
 	case "fig8":
-		experiments.Fig8(os.Stdout, benches, cfg)
+		producers = []producer{fig8}
 	case "fig9":
-		experiments.Fig9(os.Stdout, benches, cfg)
+		producers = []producer{fig9}
 	case "table1":
-		experiments.Table1(os.Stdout, benches)
+		producers = []producer{table1}
 	case "table3":
-		experiments.Table3(os.Stdout, benches, cfg)
+		producers = []producer{table3}
 	case "ablation":
-		experiments.Ablation(os.Stdout, benches, cfg)
+		producers = []producer{ablation}
 	case "dist":
-		experiments.Distribution(os.Stdout, benches)
+		producers = []producer{dist}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *asJSON {
+		var exps []*streamfetch.Experiment
+		for _, p := range producers {
+			exps = append(exps, p()...)
+		}
+		emitJSON(exps)
+	} else {
+		first := true
+		for _, p := range producers {
+			for _, e := range p() {
+				if !first {
+					fmt.Println()
+				}
+				first = false
+				e.WriteText(os.Stdout)
+			}
+		}
+	}
 	fmt.Fprintf(os.Stderr, "\ntotal %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// emitJSON writes the experiments to stdout as one JSON array.
+func emitJSON(exps []*streamfetch.Experiment) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exps); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func benchCount(cfg experiments.Config) string {
 	if cfg.Benchmarks == nil {
-		return "11"
+		return fmt.Sprint(len(streamfetch.Benchmarks()))
 	}
 	return fmt.Sprint(len(cfg.Benchmarks))
 }

@@ -1,84 +1,103 @@
-// Command streamsim runs one simulation: a benchmark under a layout with a
-// chosen fetch engine and pipe width, printing the full result.
+// Command streamsim runs one simulation through the public streamfetch
+// API: a benchmark under a layout with a chosen fetch engine and pipe
+// width, printing the full result as text or JSON.
 //
 // Usage:
 //
 //	streamsim -bench 164.gzip -engine streams -width 8 -layout optimized \
-//	          [-insts 2000000] [-trace file.trc]
+//	          [-insts 2000000] [-trace file.trc] [-json]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
-	"streamfetch/internal/layout"
-	"streamfetch/internal/sim"
-	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
+	"streamfetch"
 )
 
 func main() {
-	bench := flag.String("bench", "164.gzip", "benchmark name (see workload.Suite)")
-	engine := flag.String("engine", "streams", "fetch engine: ev8, ftb, streams, tcache")
+	bench := flag.String("bench", "164.gzip", "benchmark name (see -list)")
+	engine := flag.String("engine", "streams",
+		"fetch engine: "+strings.Join(streamfetch.Engines(), ", "))
 	width := flag.Int("width", 8, "pipe width")
 	layoutName := flag.String("layout", "optimized", "code layout: base or optimized")
 	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions to simulate")
 	traceFile := flag.String("trace", "", "replay a saved trace file instead of generating one")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	list := flag.Bool("list", false, "list benchmarks and engines, then exit")
 	flag.Parse()
 
-	params, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *list {
+		fmt.Printf("benchmarks: %s\n", strings.Join(streamfetch.Benchmarks(), ", "))
+		fmt.Printf("engines:    %s\n", strings.Join(streamfetch.Engines(), ", "))
+		return
 	}
-	prog := workload.Generate(params)
 
-	var tr *trace.Trace
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first interrupt cancels the context, restore the
+		// default handler so a second Ctrl-C kills the process even
+		// mid-preparation.
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := []streamfetch.Option{
+		streamfetch.WithEngine(*engine),
+		streamfetch.WithWidth(*width),
+		streamfetch.WithLayout(*layoutName),
+		streamfetch.WithInstructions(*insts),
+		// A tight progress cadence keeps even short runs responsive to
+		// cancellation.
+		streamfetch.WithProgress(16_384, nil),
+	}
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
+		opts = append(opts, streamfetch.WithTraceFile(*traceFile))
+	}
+	rep, err := streamfetch.New(*bench, opts...).Run(ctx)
+	if err != nil {
+		if rep == nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
-		tr, err = trace.Read(f)
-		f.Close()
-		if err != nil {
+		// Interrupted mid-simulation: report the partial results.
+		fmt.Fprintf(os.Stderr, "interrupted: %v (partial results below)\n", err)
+	}
+
+	if *asJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	} else {
-		tr = trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: *insts})
+		fmt.Printf("benchmark      %s (%s layout, %s engine, code size %d KB)\n",
+			rep.Benchmark, rep.Layout, rep.Engine, rep.CodeBytes/1024)
+		fmt.Printf("retired        %d instructions in %d cycles\n", rep.Retired, rep.Cycles)
+		fmt.Printf("IPC            %.3f\n", rep.IPC)
+		fmt.Printf("fetch IPC      %.2f (mean unit %.1f insts, unit predictor hit %.1f%%)\n",
+			rep.FetchIPC, rep.Fetch.MeanUnitLen, hitPct(rep))
+		fmt.Printf("branches       %d, mispredicted %.2f%%, decode redirects %d\n",
+			rep.Branches, 100*rep.MispredRate, rep.Misfetches)
+		fmt.Printf("I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
+			100*rep.ICache.MissRate, 100*rep.DCache.MissRate, 100*rep.L2.MissRate)
 	}
-
-	var lay *layout.Layout
-	switch *layoutName {
-	case "base":
-		lay = layout.Baseline(prog)
-	case "optimized":
-		prof := trace.CollectProfile(prog, 7, *insts/4)
-		lay = layout.Optimized(prog, prof)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown layout %q\n", *layoutName)
-		os.Exit(2)
+	if err != nil {
+		os.Exit(130)
 	}
-
-	r := sim.Run(lay, tr, sim.Config{Width: *width, Engine: sim.EngineKind(*engine)})
-	fmt.Printf("benchmark      %s (%s layout, %s code size %d KB)\n",
-		*bench, lay.Name, *engine, lay.CodeSize()/1024)
-	fmt.Printf("retired        %d instructions in %d cycles\n", r.Retired, r.Cycles)
-	fmt.Printf("IPC            %.3f\n", r.IPC)
-	fmt.Printf("fetch IPC      %.2f (mean unit %.1f insts, unit predictor hit %.1f%%)\n",
-		r.FetchIPC, r.Fetch.MeanUnitLen(), hitPct(r))
-	fmt.Printf("branches       %d, mispredicted %.2f%%, decode redirects %d\n",
-		r.Branches, 100*r.MispredRate, r.Misfetches)
-	fmt.Printf("I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
-		100*r.ICache.MissRate(), 100*r.DCache.MissRate(), 100*r.L2.MissRate())
 }
 
-func hitPct(r sim.Result) float64 {
-	if r.Fetch.PredictorLookups == 0 {
+func hitPct(rep *streamfetch.Report) float64 {
+	if rep.Fetch.PredictorLookups == 0 {
 		return 0
 	}
-	return 100 * float64(r.Fetch.PredictorHits) / float64(r.Fetch.PredictorLookups)
+	return 100 * float64(rep.Fetch.PredictorHits) / float64(rep.Fetch.PredictorLookups)
 }

@@ -1,16 +1,17 @@
-// Fetch architecture comparison on one benchmark: run the EV8, FTB, stream
-// and trace cache front-ends side by side across pipe widths, mirroring the
-// structure of the paper's Figure 8 for a single program.
+// Fetch architecture comparison on one benchmark: run every registered
+// fetch engine side by side across pipe widths, mirroring the structure of
+// the paper's Figure 8 for a single program. The session prepares the
+// workload, layout and trace once; RunWith sweeps engines and widths over
+// the shared artifacts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
-	"streamfetch/internal/layout"
-	"streamfetch/internal/sim"
-	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
+	"streamfetch"
 )
 
 func main() {
@@ -18,23 +19,36 @@ func main() {
 	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
 	flag.Parse()
 
-	params, err := workload.ByName(*bench)
-	if err != nil {
-		panic(err)
+	ctx := context.Background()
+	session := streamfetch.New(*bench,
+		streamfetch.WithOptimizedLayout(),
+		streamfetch.WithInstructions(*insts),
+	)
+	if err := session.Prepare(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	prog := workload.Generate(params)
-	prof := trace.CollectProfile(prog, 7, *insts/4)
-	lay := layout.Optimized(prog, prof)
-	tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: *insts})
+	tr, err := session.Trace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("%s, optimized layout, %d instructions\n\n", *bench, tr.Insts)
 	for _, width := range []int{2, 4, 8} {
 		fmt.Printf("%d-wide pipeline:\n", width)
 		fmt.Printf("  %-8s %8s %10s %10s %10s\n", "engine", "IPC", "fetch IPC", "mispred", "unit size")
-		for _, e := range sim.Kinds() {
-			r := sim.Run(lay, tr, sim.Config{Width: width, Engine: e})
+		for _, e := range streamfetch.Engines() {
+			rep, err := session.RunWith(ctx,
+				streamfetch.WithWidth(width),
+				streamfetch.WithEngine(e),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Printf("  %-8s %8.3f %10.2f %9.2f%% %10.1f\n",
-				e, r.IPC, r.FetchIPC, 100*r.MispredRate, r.Fetch.MeanUnitLen())
+				e, rep.IPC, rep.FetchIPC, 100*rep.MispredRate, rep.Fetch.MeanUnitLen)
 		}
 		fmt.Println()
 	}

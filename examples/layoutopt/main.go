@@ -1,41 +1,69 @@
 // Layout optimization effects: measure, for each benchmark, how
 // profile-guided code layout changes the conditional taken rate, the mean
 // stream length, and the instruction cache miss rate — the three effects
-// (§2.4) the stream fetch architecture exploits.
+// (§2.4) the stream fetch architecture exploits. Sessions prepare both
+// layouts over a shared trace; the static walk uses the session's
+// artifacts directly and the I-cache miss rate comes from a stream-engine
+// run.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
+	"streamfetch"
 	"streamfetch/internal/cfg"
 	"streamfetch/internal/isa"
 	"streamfetch/internal/layout"
-	"streamfetch/internal/sim"
 	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Printf("%-14s %26s %26s\n", "", "base", "optimized")
 	fmt.Printf("%-14s %8s %8s %8s %8s %8s %8s\n",
 		"benchmark", "takenR", "stream", "ic-miss", "takenR", "stream", "ic-miss")
-	for _, params := range workload.Suite() {
-		prog := workload.Generate(params)
-		prof := trace.CollectProfile(prog, 7, 500_000)
-		tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: 1_000_000})
-		base := layout.Baseline(prog)
-		opt := layout.Optimized(prog, prof)
+	for _, name := range streamfetch.Benchmarks() {
+		session := streamfetch.New(name,
+			streamfetch.WithInstructions(1_000_000),
+			streamfetch.WithTrainInstructions(500_000),
+		)
+		tr, err := session.Trace()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 
-		bt, bs, bi := measure(base, tr)
-		ot, os_, oi := measure(opt, tr)
+		var cells [2][3]float64
+		for i, layoutName := range streamfetch.Layouts() {
+			lay, err := session.Layout(layoutName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep, err := session.RunWith(ctx,
+				streamfetch.WithWidth(8),
+				streamfetch.WithEngine("streams"),
+				streamfetch.WithLayout(layoutName),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			taken, stream := measure(lay, tr)
+			cells[i] = [3]float64{taken, stream, rep.ICache.MissRate}
+		}
 		fmt.Printf("%-14s %7.1f%% %8.1f %7.2f%% %7.1f%% %8.1f %7.2f%%\n",
-			params.Name, 100*bt, bs, 100*bi, 100*ot, os_, 100*oi)
+			name,
+			100*cells[0][0], cells[0][1], 100*cells[0][2],
+			100*cells[1][0], cells[1][1], 100*cells[1][2])
 	}
 }
 
-// measure returns (conditional taken rate, mean stream length, icache miss
-// rate under the stream engine).
-func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen, icMiss float64) {
+// measure returns (conditional taken rate, mean stream length) from a
+// static walk of the trace under the layout.
+func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen float64) {
 	var buf []layout.DynInst
 	var cond, condTaken, insts, taken uint64
 	for i, id := range tr.Blocks {
@@ -57,8 +85,5 @@ func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen, icMiss 
 			}
 		}
 	}
-	r := sim.Run(lay, tr, sim.Config{Width: 8, Engine: sim.EngineStreams})
-	return float64(condTaken) / float64(cond),
-		float64(insts) / float64(taken),
-		r.ICache.MissRate()
+	return float64(condTaken) / float64(cond), float64(insts) / float64(taken)
 }

@@ -1,37 +1,40 @@
-// Quickstart: synthesize a benchmark, optimize its code layout from a
-// training profile, and simulate the stream fetch architecture on an 8-wide
-// processor.
+// Quickstart for the public streamfetch API: build a session for one
+// synthetic benchmark, profile-optimize its code layout, simulate the
+// stream fetch architecture on an 8-wide processor, and print the
+// structured report.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	"streamfetch/internal/layout"
-	"streamfetch/internal/sim"
-	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
+	"streamfetch"
 )
 
 func main() {
-	// 1. Pick a benchmark from the synthetic SPECint2000-like suite.
-	params, err := workload.ByName("164.gzip")
+	// One session owns the whole pipeline: workload synthesis, training
+	// profile, code layout, trace generation, and the simulation itself.
+	session := streamfetch.New("164.gzip",
+		streamfetch.WithWidth(8),
+		streamfetch.WithEngine("streams"),
+		streamfetch.WithOptimizedLayout(),
+		streamfetch.WithInstructions(2_000_000),
+		streamfetch.WithSeed(99),
+	)
+	rep, err := session.Run(context.Background())
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	prog := workload.Generate(params)
-	fmt.Printf("%s: %d procedures, %d basic blocks, %d static instructions\n",
-		prog.Name, len(prog.Procs), prog.NumBlocks(), prog.StaticInsts())
 
-	// 2. Profile a training run and lay the code out (spike-style).
-	prof := trace.CollectProfile(prog, 7, 500_000)
-	lay := layout.Optimized(prog, prof)
-	fmt.Printf("optimized layout: %d KB of code\n", lay.CodeSize()/1024)
+	fmt.Printf("%s (%s layout, %d KB of code): IPC %.3f, fetch IPC %.2f, misprediction rate %.2f%%\n",
+		rep.Benchmark, rep.Layout, rep.CodeBytes/1024, rep.IPC, rep.FetchIPC, 100*rep.MispredRate)
 
-	// 3. Generate the reference trace (a different input seed).
-	tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: 2_000_000})
-
-	// 4. Simulate the stream fetch architecture.
-	r := sim.Run(lay, tr, sim.Config{Width: 8, Engine: sim.EngineStreams})
-	fmt.Printf("streams: IPC %.3f, fetch IPC %.2f, misprediction rate %.2f%%\n",
-		r.IPC, r.FetchIPC, 100*r.MispredRate)
+	// Reports marshal to JSON for downstream tooling.
+	fmt.Println("\nfull report:")
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,3 @@
+module streamfetch
+
+go 1.24

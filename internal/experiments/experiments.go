@@ -3,6 +3,12 @@
 // (Table 2), IPC across pipe widths and layouts (Figure 8), per-benchmark
 // IPC (Figure 9), and misprediction rate / fetch IPC (Table 3).
 //
+// Every experiment is computed as a structured streamfetch.Experiment (the
+// XxxData builders) and rendered either as aligned text (the Xxx writer
+// functions) or as JSON (cmd/experiments -json). Simulations run through
+// streamfetch sessions, so any engine registered in the frontend registry
+// shows up in the sweeps by name.
+//
 // Absolute numbers differ from the paper (synthetic workloads, simplified
 // back-end); the harness exists to reproduce the *shape*: which engine wins,
 // by roughly what factor, and how code layout optimization shifts the
@@ -10,20 +16,21 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
+	"streamfetch"
 	"streamfetch/internal/cfg"
 	"streamfetch/internal/core"
 	"streamfetch/internal/frontend"
 	"streamfetch/internal/isa"
 	"streamfetch/internal/layout"
-	"streamfetch/internal/sim"
 	"streamfetch/internal/stats"
 	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
 )
 
 // Config scales the experiments.
@@ -37,6 +44,9 @@ type Config struct {
 	RefSeed, TrainSeed uint64
 	// Benchmarks restricts the suite (nil = all 11).
 	Benchmarks []string
+	// Engines restricts the fetch engines (nil = every registered
+	// engine, the paper's four in a stock build).
+	Engines []string
 	// Parallel runs benchmarks concurrently.
 	Parallel bool
 }
@@ -52,44 +62,62 @@ func DefaultConfig() Config {
 	}
 }
 
-// Bench bundles one prepared benchmark: program, layouts and trace.
-type Bench struct {
-	Name string
-	Prog *cfg.Program
-	Base *layout.Layout
-	Opt  *layout.Layout
-	Ref  *trace.Trace
+// engines resolves the engine set: the explicit list, or every registered
+// engine.
+func (c Config) engines() []string {
+	if c.Engines != nil {
+		return c.Engines
+	}
+	return frontend.Engines()
 }
 
-// Prepare synthesizes the benchmark set: generate programs, profile with the
-// train input, build both layouts, and generate the ref trace.
+// Bench bundles one prepared benchmark: the session owning its artifacts,
+// plus direct handles on the program, layouts and trace for the analyses
+// that walk them (Table 1, stream length distributions).
+type Bench struct {
+	Name    string
+	Session *streamfetch.Session
+	Prog    *cfg.Program
+	Base    *layout.Layout
+	Opt     *layout.Layout
+	Ref     *trace.Trace
+}
+
+// Prepare synthesizes the benchmark set through streamfetch sessions:
+// generate programs, profile with the train input, build both layouts, and
+// generate the ref trace. It panics on an unknown benchmark name.
 func Prepare(c Config) []Bench {
-	params := workload.Suite()
-	if c.Benchmarks != nil {
-		var sel []workload.Params
-		for _, name := range c.Benchmarks {
-			p, err := workload.ByName(name)
-			if err != nil {
-				panic(err)
-			}
-			sel = append(sel, p)
-		}
-		params = sel
+	names := c.Benchmarks
+	if names == nil {
+		names = streamfetch.Benchmarks()
 	}
-	out := make([]Bench, len(params))
+	out := make([]Bench, len(names))
 	run := func(i int) {
-		p := params[i]
-		prog := workload.Generate(p)
-		prof := trace.CollectProfile(prog, c.TrainSeed, c.TrainInsts)
-		out[i] = Bench{
-			Name: p.Name,
-			Prog: prog,
-			Base: layout.Baseline(prog),
-			Opt:  layout.Optimized(prog, prof),
-			Ref:  trace.Generate(prog, trace.GenConfig{Seed: c.RefSeed, MaxInsts: c.TraceInsts}),
+		s := streamfetch.New(names[i],
+			streamfetch.WithInstructions(c.TraceInsts),
+			streamfetch.WithTrainInstructions(c.TrainInsts),
+			streamfetch.WithSeed(c.RefSeed),
+			streamfetch.WithTrainSeed(c.TrainSeed),
+		)
+		prog, err := s.Program()
+		if err != nil {
+			panic(err)
 		}
+		base, err := s.Layout("base")
+		if err != nil {
+			panic(err)
+		}
+		opt, err := s.Layout("optimized")
+		if err != nil {
+			panic(err)
+		}
+		ref, err := s.Trace()
+		if err != nil {
+			panic(err)
+		}
+		out[i] = Bench{Name: names[i], Session: s, Prog: prog, Base: base, Opt: opt, Ref: ref}
 	}
-	forEach(len(params), c.Parallel, run)
+	forEach(len(names), c.Parallel, run)
 	return out
 }
 
@@ -115,15 +143,15 @@ func forEach(n int, parallel bool, f func(i int)) {
 type Cell struct {
 	Bench  string
 	Layout string
-	Result sim.Result
+	Result *streamfetch.Report
 }
 
 // Sweep runs every (benchmark, layout, engine) combination at one width.
-func Sweep(benches []Bench, width int, layouts []string, engines []sim.EngineKind, parallel bool) []Cell {
+func Sweep(benches []Bench, width int, layouts []string, engines []string, parallel bool) []Cell {
 	type job struct {
 		b      Bench
 		layout string
-		engine sim.EngineKind
+		engine string
 	}
 	var jobs []job
 	for _, b := range benches {
@@ -136,12 +164,15 @@ func Sweep(benches []Bench, width int, layouts []string, engines []sim.EngineKin
 	cells := make([]Cell, len(jobs))
 	forEach(len(jobs), parallel, func(i int) {
 		j := jobs[i]
-		lay := j.b.Base
-		if j.layout == "optimized" {
-			lay = j.b.Opt
+		rep, err := j.b.Session.RunWith(context.Background(),
+			streamfetch.WithWidth(width),
+			streamfetch.WithLayout(j.layout),
+			streamfetch.WithEngine(j.engine),
+		)
+		if err != nil {
+			panic(err)
 		}
-		res := sim.Run(lay, j.b.Ref, sim.Config{Width: width, Engine: j.engine})
-		cells[i] = Cell{Bench: j.b.Name, Layout: j.layout, Result: res}
+		cells[i] = Cell{Bench: j.b.Name, Layout: j.layout, Result: rep}
 	})
 	return cells
 }
@@ -151,7 +182,7 @@ func Sweep(benches []Bench, width int, layouts []string, engines []sim.EngineKin
 func HarmonicIPC(cells []Cell) map[[2]string]float64 {
 	group := map[[2]string][]float64{}
 	for _, c := range cells {
-		k := [2]string{c.Layout, string(c.Result.Engine)}
+		k := [2]string{c.Layout, c.Result.Engine}
 		group[k] = append(group[k], c.Result.IPC)
 	}
 	out := map[[2]string]float64{}
@@ -161,32 +192,46 @@ func HarmonicIPC(cells []Cell) map[[2]string]float64 {
 	return out
 }
 
-// Fig8 runs Figure 8: IPC for 2-, 4- and 8-wide pipelines, base and
-// optimized layouts, all four engines, and writes the three sub-figures.
-func Fig8(w io.Writer, benches []Bench, c Config) {
+// Fig8Data computes Figure 8: harmonic-mean IPC for 2-, 4- and 8-wide
+// pipelines, base and optimized layouts, every engine — one experiment per
+// width.
+func Fig8Data(benches []Bench, c Config) []*streamfetch.Experiment {
+	var exps []*streamfetch.Experiment
 	for _, width := range []int{2, 4, 8} {
-		fmt.Fprintf(w, "Figure 8: IPC, %d-wide processor (harmonic mean over %d benchmarks)\n",
-			width, len(benches))
-		cells := Sweep(benches, width, []string{"base", "optimized"}, sim.Kinds(), c.Parallel)
+		cells := Sweep(benches, width, []string{"base", "optimized"}, c.engines(), c.Parallel)
 		h := HarmonicIPC(cells)
-		fmt.Fprintf(w, "  %-22s %10s %10s\n", "engine", "base", "optimized")
-		for _, e := range sim.Kinds() {
-			fmt.Fprintf(w, "  %-22s %10.3f %10.3f\n", engineLabel(e),
-				h[[2]string{"base", string(e)}], h[[2]string{"optimized", string(e)}])
+		e := &streamfetch.Experiment{
+			Name: fmt.Sprintf("fig8-w%d", width),
+			Title: fmt.Sprintf("Figure 8: IPC, %d-wide processor (harmonic mean over %d benchmarks)",
+				width, len(benches)),
+			RowHeader: "engine",
+			Columns:   []string{"base", "optimized"},
 		}
+		for _, eng := range c.engines() {
+			e.AddRow(engineLabel(eng), h[[2]string{"base", eng}], h[[2]string{"optimized", eng}])
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// Fig8 renders Figure 8's three sub-figures as text.
+func Fig8(w io.Writer, benches []Bench, c Config) {
+	for _, e := range Fig8Data(benches, c) {
+		e.WriteText(w)
 		fmt.Fprintln(w)
 	}
 }
 
-// Fig9 runs Figure 9: per-benchmark IPC for the 8-wide processor with
-// optimized layouts.
-func Fig9(w io.Writer, benches []Bench, c Config) {
-	fmt.Fprintln(w, "Figure 9: individual IPC, 8-wide processor, optimized codes")
-	cells := Sweep(benches, 8, []string{"optimized"}, sim.Kinds(), c.Parallel)
-	byBench := map[string]map[sim.EngineKind]float64{}
+// Fig9Data computes Figure 9: per-benchmark IPC for the 8-wide processor
+// with optimized layouts, with a harmonic-mean summary row.
+func Fig9Data(benches []Bench, c Config) *streamfetch.Experiment {
+	engines := c.engines()
+	cells := Sweep(benches, 8, []string{"optimized"}, engines, c.Parallel)
+	byBench := map[string]map[string]float64{}
 	for _, cell := range cells {
 		if byBench[cell.Bench] == nil {
-			byBench[cell.Bench] = map[sim.EngineKind]float64{}
+			byBench[cell.Bench] = map[string]float64{}
 		}
 		byBench[cell.Bench][cell.Result.Engine] = cell.Result.IPC
 	}
@@ -195,31 +240,49 @@ func Fig9(w io.Writer, benches []Bench, c Config) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "  %-14s %8s %8s %8s %8s\n", "benchmark", "ev8", "ftb", "streams", "tcache")
-	perEngine := map[sim.EngineKind][]float64{}
-	for _, n := range names {
-		fmt.Fprintf(w, "  %-14s %8.3f %8.3f %8.3f %8.3f\n", n,
-			byBench[n][sim.EngineEV8], byBench[n][sim.EngineFTB],
-			byBench[n][sim.EngineStreams], byBench[n][sim.EngineTraceCache])
-		for _, e := range sim.Kinds() {
-			perEngine[e] = append(perEngine[e], byBench[n][e])
-		}
+	e := &streamfetch.Experiment{
+		Name:      "fig9",
+		Title:     "Figure 9: individual IPC, 8-wide processor, optimized codes",
+		RowHeader: "benchmark",
+		Columns:   engines,
 	}
-	fmt.Fprintf(w, "  %-14s %8.3f %8.3f %8.3f %8.3f\n", "Hmean",
-		stats.HarmonicMean(perEngine[sim.EngineEV8]), stats.HarmonicMean(perEngine[sim.EngineFTB]),
-		stats.HarmonicMean(perEngine[sim.EngineStreams]), stats.HarmonicMean(perEngine[sim.EngineTraceCache]))
+	perEngine := map[string][]float64{}
+	for _, n := range names {
+		row := make([]float64, len(engines))
+		for j, eng := range engines {
+			row[j] = byBench[n][eng]
+			perEngine[eng] = append(perEngine[eng], byBench[n][eng])
+		}
+		e.AddRow(n, row...)
+	}
+	hmean := make([]float64, len(engines))
+	for j, eng := range engines {
+		hmean[j] = stats.HarmonicMean(perEngine[eng])
+	}
+	e.AddSummary("Hmean", hmean...)
+	return e
 }
 
-// Table3 runs Table 3: branch misprediction rate and fetch IPC for the
-// 8-wide processor, base and optimized layouts.
-func Table3(w io.Writer, benches []Bench, c Config) {
-	fmt.Fprintln(w, "Table 3: misprediction rate and fetch IPC, 8-wide processor")
-	fmt.Fprintf(w, "  %-22s %23s %23s\n", "", "base", "optimized")
-	fmt.Fprintf(w, "  %-22s %10s %12s %10s %12s\n", "engine", "mispred", "fetch IPC", "mispred", "fetch IPC")
-	for _, e := range sim.Kinds() {
+// Fig9 renders Figure 9 as text.
+func Fig9(w io.Writer, benches []Bench, c Config) {
+	Fig9Data(benches, c).WriteText(w)
+}
+
+// Table3Data computes Table 3: branch misprediction rate and fetch IPC for
+// the 8-wide processor, base and optimized layouts. Misprediction rates are
+// stored in percent.
+func Table3Data(benches []Bench, c Config) *streamfetch.Experiment {
+	e := &streamfetch.Experiment{
+		Name:      "table3",
+		Title:     "Table 3: misprediction rate and fetch IPC, 8-wide processor",
+		RowHeader: "engine",
+		Columns:   []string{"base mispred", "base fetch IPC", "opt mispred", "opt fetch IPC"},
+		Formats:   []string{"%.2f%%", "%.2f", "%.2f%%", "%.2f"},
+	}
+	for _, eng := range c.engines() {
 		row := map[string][2]float64{}
 		for _, l := range []string{"base", "optimized"} {
-			cells := Sweep(benches, 8, []string{l}, []sim.EngineKind{e}, c.Parallel)
+			cells := Sweep(benches, 8, []string{l}, []string{eng}, c.Parallel)
 			var mp, fi []float64
 			for _, cell := range cells {
 				mp = append(mp, cell.Result.MispredRate)
@@ -227,15 +290,21 @@ func Table3(w io.Writer, benches []Bench, c Config) {
 			}
 			row[l] = [2]float64{stats.Mean(mp), stats.HarmonicMean(fi)}
 		}
-		fmt.Fprintf(w, "  %-22s %9.2f%% %12.2f %9.2f%% %12.2f\n", engineLabel(e),
+		e.AddRow(engineLabel(eng),
 			100*row["base"][0], row["base"][1], 100*row["optimized"][0], row["optimized"][1])
 	}
+	return e
 }
 
-// Table1 measures the fetch-unit size comparison of Table 1: mean dynamic
-// basic block, FTB block, stream, and trace lengths on optimized layouts.
-func Table1(w io.Writer, benches []Bench) {
-	fmt.Fprintln(w, "Table 1: mean fetch-unit sizes (dynamic, optimized layouts)")
+// Table3 renders Table 3 as text.
+func Table3(w io.Writer, benches []Bench, c Config) {
+	Table3Data(benches, c).WriteText(w)
+}
+
+// Table1Data measures the fetch-unit size comparison of Table 1: mean
+// dynamic basic block, stream, and trace lengths on optimized layouts,
+// alongside the paper's reported ranges.
+func Table1Data(benches []Bench) *streamfetch.Experiment {
 	var bb, st, tr []float64
 	for _, b := range benches {
 		u := UnitSizes(b.Prog, b.Opt, b.Ref)
@@ -243,10 +312,24 @@ func Table1(w io.Writer, benches []Bench) {
 		st = append(st, u.Stream)
 		tr = append(tr, u.Trace)
 	}
-	fmt.Fprintf(w, "  %-22s %10s %10s\n", "unit", "size", "paper")
-	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "basic block", stats.Mean(bb), "5-6")
-	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "trace (16-inst cap)", stats.Mean(tr), "~14")
-	fmt.Fprintf(w, "  %-22s %10.1f %10s\n", "stream", stats.Mean(st), "20+")
+	e := &streamfetch.Experiment{
+		Name:      "table1",
+		Title:     "Table 1: mean fetch-unit sizes (dynamic, optimized layouts)",
+		RowHeader: "unit",
+		Columns:   []string{"size", "paper"},
+		Formats:   []string{"%.1f"},
+	}
+	e.Rows = append(e.Rows,
+		streamfetch.ExperimentRow{Label: "basic block", Values: []float64{stats.Mean(bb)}, Text: []string{"5-6"}},
+		streamfetch.ExperimentRow{Label: "trace (16-inst cap)", Values: []float64{stats.Mean(tr)}, Text: []string{"~14"}},
+		streamfetch.ExperimentRow{Label: "stream", Values: []float64{stats.Mean(st)}, Text: []string{"20+"}},
+	)
+	return e
+}
+
+// Table1 renders Table 1 as text.
+func Table1(w io.Writer, benches []Bench) {
+	Table1Data(benches).WriteText(w)
 }
 
 // Units reports the mean dynamic fetch-unit sizes of one benchmark.
@@ -321,54 +404,83 @@ func StreamLengths(lay *layout.Layout, tr *trace.Trace) *stats.Histogram {
 	return h
 }
 
-// Distribution prints stream length distributions per benchmark, base vs
-// optimized.
-func Distribution(w io.Writer, benches []Bench) {
-	fmt.Fprintln(w, "Stream length distribution (dynamic)")
-	fmt.Fprintf(w, "  %-14s %28s %28s\n", "", "base", "optimized")
-	fmt.Fprintf(w, "  %-14s %6s %5s %5s %5s %10s %5s %5s %5s\n", "benchmark",
-		"mean", "p50", "p90", "p99", "mean", "p50", "p90", "p99")
+// DistributionData computes stream length distributions per benchmark, base
+// vs optimized: mean and 50th/90th/99th percentiles.
+func DistributionData(benches []Bench) *streamfetch.Experiment {
+	e := &streamfetch.Experiment{
+		Name:      "dist",
+		Title:     "Stream length distribution (dynamic)",
+		RowHeader: "benchmark",
+		Columns: []string{"base mean", "base p50", "base p90", "base p99",
+			"opt mean", "opt p50", "opt p90", "opt p99"},
+		Formats: []string{"%.1f", "%.0f", "%.0f", "%.0f", "%.1f", "%.0f", "%.0f", "%.0f"},
+	}
 	for _, b := range benches {
 		hb := StreamLengths(b.Base, b.Ref)
 		ho := StreamLengths(b.Opt, b.Ref)
-		fmt.Fprintf(w, "  %-14s %6.1f %5d %5d %5d %10.1f %5d %5d %5d\n",
-			b.Name,
-			hb.Mean(), hb.Percentile(0.5), hb.Percentile(0.9), hb.Percentile(0.99),
-			ho.Mean(), ho.Percentile(0.5), ho.Percentile(0.9), ho.Percentile(0.99))
+		e.AddRow(b.Name,
+			hb.Mean(), float64(hb.Percentile(0.5)), float64(hb.Percentile(0.9)), float64(hb.Percentile(0.99)),
+			ho.Mean(), float64(ho.Percentile(0.5)), float64(ho.Percentile(0.9)), float64(ho.Percentile(0.99)))
+	}
+	return e
+}
+
+// Distribution renders the stream length distributions as text.
+func Distribution(w io.Writer, benches []Bench) {
+	DistributionData(benches).WriteText(w)
+}
+
+// table2Setup is the simulated processor setup, one line per parameter.
+const table2Setup = `FTB architecture + perceptron
+  perceptrons             512, 40-bit global + 4096x14-bit local history
+  FTB                     2048-entry, 4-way
+EV8 fetch + 2bcgskew
+  tables                  4 x 32K-entry, 15-bit history
+  BTB                     2048-entry, 4-way
+Stream fetch architecture
+  first table             1K-entry, 4-way
+  second table            6K-entry, 3-way, DOLC 12-2-4-10
+Trace cache + trace predictor
+  first level             1K-entry, 4-way
+  second level            4K-entry, 4-way, DOLC 9-4-7-9
+  backup BTB              1K-entry, 4-way
+  trace cache             32KB, 2-way, selective trace storage
+Common
+  pipe width              2, 4, 8 (RAS 8-entry, FTQ 4 entries)
+  pipe depth              16 stages
+  L1 I-cache              64KB, 2-way, line = 4x width
+  L1 D-cache              64KB, 2-way, 64B lines
+  L2 (unified)            1MB, 4-way, 15 cycles
+  memory                  100 cycles`
+
+// Table2Data returns the simulated processor setup.
+func Table2Data() *streamfetch.Experiment {
+	return &streamfetch.Experiment{
+		Name:  "table2",
+		Title: "Table 2: processor setup",
+		// Rows stays an empty array, not null, in JSON output.
+		Rows:  []streamfetch.ExperimentRow{},
+		Notes: strings.Split(table2Setup, "\n"),
 	}
 }
 
 // Table2 prints the simulated processor setup.
 func Table2(w io.Writer) {
-	fmt.Fprintln(w, "Table 2: processor setup")
-	fmt.Fprintln(w, `  FTB architecture + perceptron
-    perceptrons             512, 40-bit global + 4096x14-bit local history
-    FTB                     2048-entry, 4-way
-  EV8 fetch + 2bcgskew
-    tables                  4 x 32K-entry, 15-bit history
-    BTB                     2048-entry, 4-way
-  Stream fetch architecture
-    first table             1K-entry, 4-way
-    second table            6K-entry, 3-way, DOLC 12-2-4-10
-  Trace cache + trace predictor
-    first level             1K-entry, 4-way
-    second level            4K-entry, 4-way, DOLC 9-4-7-9
-    backup BTB              1K-entry, 4-way
-    trace cache             32KB, 2-way, selective trace storage
-  Common
-    pipe width              2, 4, 8 (RAS 8-entry, FTQ 4 entries)
-    pipe depth              16 stages
-    L1 I-cache              64KB, 2-way, line = 4x width
-    L1 D-cache              64KB, 2-way, 64B lines
-    L2 (unified)            1MB, 4-way, 15 cycles
-    memory                  100 cycles`)
+	Table2Data().WriteText(w)
 }
 
-// Ablation compares next-stream-predictor design choices on the 8-wide
+// AblationData compares next-stream-predictor design choices on the 8-wide
 // optimized configuration: the full cascade, no mispredict upgrades, a
-// single address-indexed table, and strict path priority.
-func Ablation(w io.Writer, benches []Bench, c Config) {
-	fmt.Fprintln(w, "Ablation: next stream predictor design choices (8-wide, optimized)")
+// single address-indexed table, and strict path priority. Misprediction
+// rates are stored in percent.
+func AblationData(benches []Bench, c Config) *streamfetch.Experiment {
+	e := &streamfetch.Experiment{
+		Name:      "ablation",
+		Title:     "Ablation: next stream predictor design choices (8-wide, optimized)",
+		RowHeader: "variant",
+		Columns:   []string{"IPC", "mispred"},
+		Formats:   []string{"%.3f", "%.2f%%"},
+	}
 	variants := []struct {
 		name string
 		mut  func(*core.PredictorConfig)
@@ -381,35 +493,43 @@ func Ablation(w io.Writer, benches []Bench, c Config) {
 	for _, v := range variants {
 		var ipc, mp []float64
 		for _, b := range benches {
-			cfgS := sim.Config{Width: 8, Engine: sim.EngineStreams}
-			cfgS.Stream = frontendDefaultStream()
+			sc := frontend.DefaultStreamConfig()
 			if v.mut != nil {
-				v.mut(&cfgS.Stream.Predictor)
+				v.mut(&sc.Predictor)
 			}
-			r := sim.Run(b.Opt, b.Ref, cfgS)
-			ipc = append(ipc, r.IPC)
-			mp = append(mp, r.MispredRate)
+			rep, err := b.Session.RunWith(context.Background(),
+				streamfetch.WithWidth(8),
+				streamfetch.WithEngine("streams"),
+				streamfetch.WithOptimizedLayout(),
+				streamfetch.WithEngineOptions(sc),
+			)
+			if err != nil {
+				panic(err)
+			}
+			ipc = append(ipc, rep.IPC)
+			mp = append(mp, rep.MispredRate)
 		}
-		fmt.Fprintf(w, "  %-24s IPC=%6.3f  mispred=%5.2f%%\n",
-			v.name, stats.HarmonicMean(ipc), 100*stats.Mean(mp))
+		e.AddRow(v.name, stats.HarmonicMean(ipc), 100*stats.Mean(mp))
 	}
+	return e
 }
 
-func frontendDefaultStream() frontend.StreamConfig {
-	return frontend.DefaultStreamConfig()
+// Ablation renders the predictor ablation as text.
+func Ablation(w io.Writer, benches []Bench, c Config) {
+	AblationData(benches, c).WriteText(w)
 }
 
-func engineLabel(e sim.EngineKind) string {
+func engineLabel(e string) string {
 	switch e {
-	case sim.EngineEV8:
+	case "ev8":
 		return "EV8 + 2bcgskew"
-	case sim.EngineFTB:
+	case "ftb":
 		return "FTB + perceptron"
-	case sim.EngineStreams:
+	case "streams":
 		return "Streams"
-	case sim.EngineTraceCache:
+	case "tcache":
 		return "Tcache + Tpred"
 	default:
-		return string(e)
+		return e
 	}
 }

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-
-	"streamfetch/internal/sim"
 )
 
 func smallConfig() Config {
@@ -23,7 +21,7 @@ func TestPrepare(t *testing.T) {
 		t.Fatalf("prepared %d benches", len(benches))
 	}
 	b := benches[0]
-	if b.Prog == nil || b.Base == nil || b.Opt == nil || b.Ref == nil {
+	if b.Session == nil || b.Prog == nil || b.Base == nil || b.Opt == nil || b.Ref == nil {
 		t.Fatal("incomplete bench")
 	}
 	if err := b.Base.Validate(); err != nil {
@@ -37,13 +35,13 @@ func TestPrepare(t *testing.T) {
 func TestSweepAndHarmonic(t *testing.T) {
 	benches := Prepare(smallConfig())
 	cells := Sweep(benches, 4, []string{"base", "optimized"},
-		[]sim.EngineKind{sim.EngineStreams}, false)
+		[]string{"streams"}, false)
 	if len(cells) != 2 {
 		t.Fatalf("sweep returned %d cells", len(cells))
 	}
 	h := HarmonicIPC(cells)
 	for _, l := range []string{"base", "optimized"} {
-		v := h[[2]string{l, string(sim.EngineStreams)}]
+		v := h[[2]string{l, "streams"}]
 		if v <= 0 || v > 8 {
 			t.Fatalf("%s IPC %v implausible", l, v)
 		}

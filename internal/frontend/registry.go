@@ -1,0 +1,135 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+)
+
+// BuildEnv is the environment a fetch engine is constructed in: the memory
+// hierarchy it fetches through, the laid-out code image it fetches from, the
+// pipe width it must feed, and the address fetch starts at.
+type BuildEnv struct {
+	Hier  *cache.Hierarchy
+	Image *layout.Layout
+	Width int
+	Entry isa.Addr
+}
+
+// Factory builds an engine from a build environment and engine-specific
+// options. A nil opts selects the engine's defaults (the paper's Table 2 for
+// the built-ins); a factory must reject option values of the wrong type with
+// an error rather than a panic.
+type Factory func(env BuildEnv, opts any) (Engine, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+	// registered preserves registration order: the four paper engines
+	// first, then anything importers register.
+	registered []string
+)
+
+// The paper's four engines register here, in presentation order, rather
+// than from per-file init functions — file-name compile order must not
+// decide how tables and sweeps order their rows.
+func init() {
+	Register("ev8", func(env BuildEnv, opts any) (Engine, error) {
+		cfg, err := optionsAs("ev8", opts, DefaultEV8Config())
+		if err != nil {
+			return nil, err
+		}
+		return NewEV8Engine(cfg, env.Hier, env.Image, env.Width, env.Entry), nil
+	})
+	Register("ftb", func(env BuildEnv, opts any) (Engine, error) {
+		cfg, err := optionsAs("ftb", opts, DefaultFTBConfig())
+		if err != nil {
+			return nil, err
+		}
+		return NewFTBEngine(cfg, env.Hier, env.Image, env.Width, env.Entry), nil
+	})
+	Register("streams", func(env BuildEnv, opts any) (Engine, error) {
+		cfg, err := optionsAs("streams", opts, DefaultStreamConfig())
+		if err != nil {
+			return nil, err
+		}
+		return NewStreamEngine(cfg, env.Hier, env.Image, env.Width, env.Entry), nil
+	})
+	Register("tcache", func(env BuildEnv, opts any) (Engine, error) {
+		cfg, err := optionsAs("tcache", opts, DefaultTCConfig())
+		if err != nil {
+			return nil, err
+		}
+		return NewTraceCacheEngine(cfg, env.Hier, env.Image, env.Width, env.Entry), nil
+	})
+}
+
+// Register makes an engine constructible by name through New. It panics on
+// an empty name, a nil factory, or a duplicate registration — all
+// programming errors at package-init time.
+func Register(name string, factory Factory) {
+	if name == "" {
+		panic("frontend: Register with empty engine name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("frontend: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("frontend: engine %q already registered", name))
+	}
+	registry[name] = factory
+	registered = append(registered, name)
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// New constructs the engine registered under name. Unknown names yield an
+// error listing the registered engines.
+func New(name string, env BuildEnv, opts any) (Engine, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("frontend: unknown engine %q (registered: %s)",
+			name, strings.Join(Engines(), ", "))
+	}
+	return f(env, opts)
+}
+
+// Engines lists the registered engine names in registration order: the four
+// paper engines (ev8, ftb, streams, tcache) first, then any extensions.
+func Engines() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return append([]string(nil), registered...)
+}
+
+// optionsAs coerces the opts value a factory received into the engine's
+// config type C: nil selects def, and both C and *C are accepted.
+func optionsAs[C any](name string, opts any, def C) (C, error) {
+	switch o := opts.(type) {
+	case nil:
+		return def, nil
+	case C:
+		return o, nil
+	case *C:
+		if o == nil {
+			return def, nil
+		}
+		return *o, nil
+	default:
+		var zero C
+		return zero, fmt.Errorf("frontend: engine %q wants options of type %T, got %T",
+			name, zero, opts)
+	}
+}

@@ -1,0 +1,109 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/workload"
+)
+
+func testEnv(t *testing.T) BuildEnv {
+	t.Helper()
+	params, err := workload.ByName("164.gzip")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	prog := workload.Generate(params)
+	lay := layout.Baseline(prog)
+	return BuildEnv{
+		Hier:  cache.NewHierarchy(cache.DefaultHierarchy(8)),
+		Image: lay,
+		Width: 8,
+		Entry: lay.Start(prog.Entry),
+	}
+}
+
+func TestBuiltinEnginesRegistered(t *testing.T) {
+	want := []string{"ev8", "ftb", "streams", "tcache"}
+	got := Engines()
+	if len(got) < len(want) {
+		t.Fatalf("Engines() = %v, want at least %v", got, want)
+	}
+	// The paper's four engines register first, in presentation order.
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("Engines()[%d] = %q, want %q (full list %v)", i, got[i], name, got)
+		}
+	}
+}
+
+func TestNewResolvesAllBuiltins(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range []string{"ev8", "ftb", "streams", "tcache"} {
+		eng, err := New(name, env, nil)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if eng.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, eng.Name())
+		}
+	}
+}
+
+func TestNewUnknownEngine(t *testing.T) {
+	_, err := New("no-such-engine", testEnv(t), nil)
+	if err == nil {
+		t.Fatal("New with unknown name did not error")
+	}
+	for _, name := range []string{"no-such-engine", "ev8", "streams"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func TestNewRejectsWrongOptionsType(t *testing.T) {
+	env := testEnv(t)
+	if _, err := New("streams", env, EV8Config{}); err == nil {
+		t.Error("streams factory accepted EV8Config options")
+	}
+	// Both value and pointer forms of the right type are accepted.
+	sc := DefaultStreamConfig()
+	if _, err := New("streams", env, sc); err != nil {
+		t.Errorf("value options rejected: %v", err)
+	}
+	if _, err := New("streams", env, &sc); err != nil {
+		t.Errorf("pointer options rejected: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("streams", func(env BuildEnv, opts any) (Engine, error) { return nil, nil })
+}
+
+func TestRegisterRejectsBadArguments(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		regName string
+		factory Factory
+	}{
+		{"empty name", "", func(env BuildEnv, opts any) (Engine, error) { return nil, nil }},
+		{"nil factory", "custom", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%q, %v) did not panic", tc.regName, tc.factory)
+				}
+			}()
+			Register(tc.regName, tc.factory)
+		})
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 
+	"streamfetch/internal/cache"
+	"streamfetch/internal/frontend"
 	"streamfetch/internal/isa"
 )
 
@@ -10,7 +12,7 @@ import (
 // fix-ups) are not counted as branch mispredictions.
 func TestDecodeRedirectsCountedSeparately(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineStreams})
+	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
 	if r.Misfetches == 0 {
 		t.Skip("no misfetches in this configuration")
 	}
@@ -25,7 +27,7 @@ func TestDecodeRedirectsCountedSeparately(t *testing.T) {
 func TestEnginesSeeSameArchitecture(t *testing.T) {
 	b := loadBench(t, "175.vpr", 120_000)
 	var retired, branches []uint64
-	for _, kind := range Kinds() {
+	for _, kind := range paperEngines() {
 		r := Run(b.opt, b.tr, Config{Width: 8, Engine: kind})
 		retired = append(retired, r.Retired)
 		branches = append(branches, r.Branches)
@@ -33,11 +35,11 @@ func TestEnginesSeeSameArchitecture(t *testing.T) {
 	for i := 1; i < len(retired); i++ {
 		if retired[i] != retired[0] {
 			t.Errorf("engine %s retired %d, engine %s retired %d",
-				Kinds()[i], retired[i], Kinds()[0], retired[0])
+				paperEngines()[i], retired[i], paperEngines()[0], retired[0])
 		}
 		if branches[i] != branches[0] {
 			t.Errorf("engine %s committed %d branches, engine %s %d",
-				Kinds()[i], branches[i], Kinds()[0], branches[0])
+				paperEngines()[i], branches[i], paperEngines()[0], branches[0])
 		}
 	}
 }
@@ -48,7 +50,7 @@ func TestEnginesSeeSameArchitecture(t *testing.T) {
 // the minimum needed for retired instructions alone.
 func TestWrongPathPollutesICache(t *testing.T) {
 	b := loadBench(t, "300.twolf", 150_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineEV8})
+	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "ev8"})
 	if r.Mispredicted == 0 {
 		t.Skip("no mispredictions")
 	}
@@ -61,8 +63,8 @@ func TestWrongPathPollutesICache(t *testing.T) {
 // TestBaseVsOptimizedBothComplete runs both layouts end to end.
 func TestBaseVsOptimizedBothComplete(t *testing.T) {
 	b := loadBench(t, "176.gcc", 120_000)
-	rb := Run(b.lay, b.tr, Config{Width: 8, Engine: EngineStreams})
-	ro := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineStreams})
+	rb := Run(b.lay, b.tr, Config{Width: 8, Engine: "streams"})
+	ro := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
 	if rb.Retired == 0 || ro.Retired == 0 {
 		t.Fatal("a layout failed to complete")
 	}
@@ -82,7 +84,7 @@ func TestBaseVsOptimizedBothComplete(t *testing.T) {
 func TestNarrowPipesCloseTogether(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
 	var ipcs []float64
-	for _, kind := range Kinds() {
+	for _, kind := range paperEngines() {
 		r := Run(b.opt, b.tr, Config{Width: 2, Engine: kind})
 		ipcs = append(ipcs, r.IPC)
 	}
@@ -106,14 +108,13 @@ func TestNarrowPipesCloseTogether(t *testing.T) {
 // minuscule (degenerating to sequential fetch + decode redirects).
 func TestStreamEngineBeatsNoPredictor(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	full := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineStreams})
-	crippled := Config{Width: 8, Engine: EngineStreams}
-	crippled = crippled.WithDefaults()
-	crippled.Stream.Predictor.FirstEntries = 8
-	crippled.Stream.Predictor.FirstWays = 2
-	crippled.Stream.Predictor.SecondEntries = 8
-	crippled.Stream.Predictor.SecondWays = 2
-	small := Run(b.opt, b.tr, crippled)
+	full := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
+	sc := frontend.DefaultStreamConfig()
+	sc.Predictor.FirstEntries = 8
+	sc.Predictor.FirstWays = 2
+	sc.Predictor.SecondEntries = 8
+	sc.Predictor.SecondWays = 2
+	small := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams", EngineOptions: sc})
 	t.Logf("full tables IPC=%.3f, 8-entry tables IPC=%.3f", full.IPC, small.IPC)
 	if full.IPC <= small.IPC {
 		t.Errorf("full predictor (%.3f) not better than crippled (%.3f)", full.IPC, small.IPC)
@@ -124,7 +125,7 @@ func TestStreamEngineBeatsNoPredictor(t *testing.T) {
 // total.
 func TestMispredictByTypeConsistency(t *testing.T) {
 	b := loadBench(t, "253.perlbmk", 120_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: EngineTraceCache})
+	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "tcache"})
 	var sum uint64
 	for _, v := range r.MispredByType {
 		sum += v
@@ -142,10 +143,11 @@ func TestMispredictByTypeConsistency(t *testing.T) {
 func TestDualBankOption(t *testing.T) {
 	b := loadBench(t, "164.gzip", 120_000)
 	mk := func(banks int) Result {
-		c := Config{Width: 8, Engine: EngineStreams}
-		c = c.WithDefaults()
+		sc := frontend.DefaultStreamConfig()
+		sc.ICacheBanks = banks
+		c := Config{Width: 8, Engine: "streams", EngineOptions: sc}
+		c.Hier = cache.DefaultHierarchy(8)
 		c.Hier.ICache.LineBytes = 8 * 4 // 1x width
-		c.Stream.ICacheBanks = banks
 		return Run(b.opt, b.tr, c)
 	}
 	single := mk(1)

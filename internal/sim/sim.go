@@ -26,28 +26,18 @@ import (
 	"streamfetch/internal/trace"
 )
 
-// EngineKind selects a fetch architecture.
-type EngineKind string
-
-// The four evaluated front-ends.
-const (
-	EngineEV8        EngineKind = "ev8"
-	EngineFTB        EngineKind = "ftb"
-	EngineStreams    EngineKind = "streams"
-	EngineTraceCache EngineKind = "tcache"
-)
-
-// Kinds lists all engines in the paper's presentation order.
-func Kinds() []EngineKind {
-	return []EngineKind{EngineEV8, EngineFTB, EngineStreams, EngineTraceCache}
-}
-
-// Config parameterizes one simulation.
+// Config parameterizes one simulation. The driver has no engine-specific
+// knowledge: the front-end is named by its registry entry and configured
+// through an opaque options value handed to the engine factory.
 type Config struct {
 	// Width is the pipe width (2, 4 or 8 in the paper).
 	Width int
-	// Engine picks the front-end.
-	Engine EngineKind
+	// Engine names the front-end in the frontend registry ("" = streams).
+	Engine string
+	// EngineOptions carries engine-specific options for the factory
+	// (e.g. frontend.StreamConfig for "streams"); nil selects the
+	// engine's Table-2 defaults.
+	EngineOptions any
 	// Pipeline is the back-end model configuration.
 	Pipeline pipeline.Config
 	// Hier describes the memory system; zero value uses Table-2 defaults
@@ -69,11 +59,14 @@ type Config struct {
 	// (debugging/analysis hook).
 	OnMispredict func(addr isa.Addr, branch isa.BranchType, taken bool, retired uint64)
 
-	// Per-engine configurations; zero values use Table-2 defaults.
-	EV8    frontend.EV8Config
-	FTB    frontend.FTBConfig
-	Stream frontend.StreamConfig
-	TC     frontend.TCConfig
+	// OnProgress, when set, is invoked roughly every ProgressInterval
+	// retired instructions with the retired and cycle counts; returning
+	// false stops the simulation early (Result.Aborted is set). Long
+	// sweeps use it for cancellation and progress reporting.
+	OnProgress func(retired, cycles uint64) bool
+	// ProgressInterval is the OnProgress cadence in retired instructions
+	// (0 = 65536).
+	ProgressInterval uint64
 }
 
 // WithDefaults fills unset fields from the paper's Table 2.
@@ -82,7 +75,7 @@ func (c Config) WithDefaults() Config {
 		c.Width = 8
 	}
 	if c.Engine == "" {
-		c.Engine = EngineStreams
+		c.Engine = "streams"
 	}
 	c.Pipeline.Width = c.Width
 	if c.Pipeline.Depth == 0 {
@@ -92,25 +85,20 @@ func (c Config) WithDefaults() Config {
 	if c.Hier.ICache.SizeBytes == 0 {
 		c.Hier = cache.DefaultHierarchy(c.Width)
 	}
-	if c.EV8.BTBEntries == 0 {
-		c.EV8 = frontend.DefaultEV8Config()
-	}
-	if c.FTB.FTBEntries == 0 {
-		c.FTB = frontend.DefaultFTBConfig()
-	}
-	if c.Stream.FTQDepth == 0 {
-		c.Stream = frontend.DefaultStreamConfig()
-	}
-	if c.TC.BTBEntries == 0 {
-		c.TC = frontend.DefaultTCConfig()
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = 65536
 	}
 	return c
 }
 
 // Result aggregates one simulation's outcome.
 type Result struct {
-	Engine EngineKind
+	Engine string
 	Width  int
+
+	// Aborted is set when an OnProgress callback stopped the run early;
+	// the counters then cover only the simulated prefix.
+	Aborted bool
 
 	Cycles  uint64
 	Retired uint64
@@ -181,23 +169,21 @@ type Processor struct {
 	supply dynSupply
 }
 
-// New builds a processor simulating tr (generated from prog) under lay.
-func New(lay *layout.Layout, tr *trace.Trace, cfg Config) *Processor {
+// New builds a processor simulating tr (generated from prog) under lay. The
+// engine is resolved through the frontend registry; unknown names and bad
+// engine options are reported as errors.
+func New(lay *layout.Layout, tr *trace.Trace, cfg Config) (*Processor, error) {
 	cfg = cfg.WithDefaults()
 	hier := cache.NewHierarchy(cfg.Hier)
-	entry := lay.Start(lay.Prog.Entry)
-	var eng frontend.Engine
-	switch cfg.Engine {
-	case EngineEV8:
-		eng = frontend.NewEV8Engine(cfg.EV8, hier, lay, cfg.Width, entry)
-	case EngineFTB:
-		eng = frontend.NewFTBEngine(cfg.FTB, hier, lay, cfg.Width, entry)
-	case EngineStreams:
-		eng = frontend.NewStreamEngine(cfg.Stream, hier, lay, cfg.Width, entry)
-	case EngineTraceCache:
-		eng = frontend.NewTraceCacheEngine(cfg.TC, hier, lay, cfg.Width, entry)
-	default:
-		panic(fmt.Sprintf("sim: unknown engine %q", cfg.Engine))
+	env := frontend.BuildEnv{
+		Hier:  hier,
+		Image: lay,
+		Width: cfg.Width,
+		Entry: lay.Start(lay.Prog.Entry),
+	}
+	eng, err := frontend.New(cfg.Engine, env, cfg.EngineOptions)
+	if err != nil {
+		return nil, err
 	}
 	return &Processor{
 		cfg:    cfg,
@@ -205,7 +191,7 @@ func New(lay *layout.Layout, tr *trace.Trace, cfg Config) *Processor {
 		hier:   hier,
 		engine: eng,
 		supply: dynSupply{lay: lay, blocks: tr.Blocks},
-	}
+	}, nil
 }
 
 // Engine exposes the running engine (for reports).
@@ -242,6 +228,7 @@ func (p *Processor) Run() Result {
 		fetchHold       uint64
 		supplyDone      bool
 		validated       uint64
+		nextProgress    = cfg.ProgressInterval
 		res             Result
 		wantRetired     = cfg.MaxInsts
 		decodePenalty   = uint64(cfg.Pipeline.DecodePenalty)
@@ -341,6 +328,13 @@ func (p *Processor) Run() Result {
 		}
 		if wantRetired > 0 && res.Retired >= wantRetired {
 			break
+		}
+		if cfg.OnProgress != nil && res.Retired >= nextProgress {
+			nextProgress = res.Retired + cfg.ProgressInterval
+			if !cfg.OnProgress(res.Retired, cycle) {
+				res.Aborted = true
+				break
+			}
 		}
 		if supplyDone && correctInFlight == 0 && pending == nil {
 			break
@@ -492,7 +486,12 @@ func SetDebugSquash(f func(e pipeline.Entry)) { debugSquash = f }
 // wrong-path (which should be impossible).
 var debugSquash func(e pipeline.Entry)
 
-// Run is a convenience: build and run one simulation.
+// Run is a convenience: build and run one simulation. It panics on an
+// unresolvable engine configuration (callers wanting an error use New).
 func Run(lay *layout.Layout, tr *trace.Trace, cfg Config) Result {
-	return New(lay, tr, cfg).Run()
+	p, err := New(lay, tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p.Run()
 }

@@ -1,0 +1,87 @@
+package streamfetch
+
+// Option configures a Session, either at New or per run through RunWith.
+type Option func(*Session)
+
+// WithWidth sets the pipe width (2, 4 or 8 in the paper; default 8).
+func WithWidth(w int) Option {
+	return func(s *Session) { s.width = w }
+}
+
+// WithEngine selects the fetch engine by registry name (default "streams";
+// see Engines for the available set).
+func WithEngine(name string) Option {
+	return func(s *Session) { s.engine = name }
+}
+
+// WithEngineOptions passes engine-specific options to the engine factory
+// (e.g. a frontend.StreamConfig for "streams"); nil keeps the engine's
+// Table-2 defaults.
+func WithEngineOptions(opts any) Option {
+	return func(s *Session) { s.engineOpts = opts }
+}
+
+// WithLayout selects the code layout strategy: "base" or "optimized"
+// (default "base").
+func WithLayout(name string) Option {
+	return func(s *Session) { s.layoutName = name }
+}
+
+// WithOptimizedLayout selects the profile-guided optimized code layout.
+func WithOptimizedLayout() Option { return WithLayout("optimized") }
+
+// WithBaseLayout selects the unoptimized baseline code layout.
+func WithBaseLayout() Option { return WithLayout("base") }
+
+// WithSeed picks the reference-input seed driving branch behaviour in the
+// generated trace (default 99).
+func WithSeed(seed uint64) Option {
+	return func(s *Session) { s.seed = seed }
+}
+
+// WithTrainSeed picks the training-input seed used to profile for layout
+// optimization (default 7; a different input than the reference run, as in
+// the paper's methodology).
+func WithTrainSeed(seed uint64) Option {
+	return func(s *Session) { s.trainSeed = seed }
+}
+
+// WithInstructions sets the dynamic trace length (default 2,000,000).
+func WithInstructions(n uint64) Option {
+	return func(s *Session) { s.insts = n }
+}
+
+// WithTrainInstructions sets the profiling run length for layout
+// optimization (default: a quarter of the trace length).
+func WithTrainInstructions(n uint64) Option {
+	return func(s *Session) { s.trainInsts = n }
+}
+
+// WithMaxInstructions stops the simulation after retiring this many
+// correct-path instructions (0 = the whole trace).
+func WithMaxInstructions(n uint64) Option {
+	return func(s *Session) { s.maxInsts = n }
+}
+
+// WithTraceFile replays a saved binary trace file (see cmd/tracegen)
+// instead of generating a trace from the seed.
+func WithTraceFile(path string) Option {
+	return func(s *Session) { s.traceFile = path }
+}
+
+// WithICacheLineBytes overrides the L1 instruction cache line size,
+// keeping the rest of the Table-2 hierarchy (the Figure-7 misalignment
+// sweeps; default is 4x the pipe width in instructions).
+func WithICacheLineBytes(n int) Option {
+	return func(s *Session) { s.lineBytes = n }
+}
+
+// WithProgress installs a progress callback invoked roughly every `every`
+// retired instructions (0 = 65536). Long sweeps use it for liveness
+// reporting; cancellation comes from the Run context.
+func WithProgress(every uint64, fn func(Progress)) Option {
+	return func(s *Session) {
+		s.progressEvery = every
+		s.onProgress = fn
+	}
+}

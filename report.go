@@ -1,0 +1,228 @@
+package streamfetch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"streamfetch/internal/isa"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+)
+
+// CacheReport summarizes one cache's activity.
+type CacheReport struct {
+	Accesses uint64  `json:"accesses"`
+	Misses   uint64  `json:"misses"`
+	MissRate float64 `json:"miss_rate"`
+}
+
+// FetchReport summarizes front-end delivery statistics.
+type FetchReport struct {
+	Delivered        uint64  `json:"delivered"`
+	Cycles           uint64  `json:"cycles"`
+	DeliveryCycles   uint64  `json:"delivery_cycles"`
+	Units            uint64  `json:"units"`
+	UnitInsts        uint64  `json:"unit_insts"`
+	PredictorLookups uint64  `json:"predictor_lookups"`
+	PredictorHits    uint64  `json:"predictor_hits"`
+	MeanUnitLen      float64 `json:"mean_unit_len"`
+	FetchIPC         float64 `json:"fetch_ipc"`
+}
+
+// Report is the structured outcome of one simulation run: the sim.Result
+// metrics plus the run's identity (benchmark, engine, layout, width, seed),
+// marshallable to JSON.
+type Report struct {
+	Benchmark  string `json:"benchmark"`
+	Engine     string `json:"engine"`
+	Layout     string `json:"layout"`
+	Width      int    `json:"width"`
+	Seed       uint64 `json:"seed,omitempty"`
+	TraceInsts uint64 `json:"trace_insts"`
+	CodeBytes  int    `json:"code_bytes"`
+	Aborted    bool   `json:"aborted,omitempty"`
+
+	Cycles  uint64  `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	IPC     float64 `json:"ipc"`
+
+	Branches      uint64            `json:"branches"`
+	Mispredicted  uint64            `json:"mispredicted"`
+	MispredRate   float64           `json:"mispred_rate"`
+	MispredByType map[string]uint64 `json:"mispred_by_type,omitempty"`
+	Misfetches    uint64            `json:"misfetches"`
+
+	FetchIPC float64     `json:"fetch_ipc"`
+	Fetch    FetchReport `json:"fetch"`
+
+	ICache CacheReport `json:"icache"`
+	DCache CacheReport `json:"dcache"`
+	L2     CacheReport `json:"l2"`
+}
+
+// newReport lifts a sim.Result into the public report shape.
+func newReport(benchmark string, lay *layout.Layout, tr *trace.Trace, seed uint64, res sim.Result) *Report {
+	rep := &Report{
+		Benchmark:  benchmark,
+		Engine:     res.Engine,
+		Layout:     lay.Name,
+		Width:      res.Width,
+		Seed:       seed,
+		TraceInsts: tr.Insts,
+		CodeBytes:  lay.CodeSize(),
+		Aborted:    res.Aborted,
+
+		Cycles:  res.Cycles,
+		Retired: res.Retired,
+		IPC:     res.IPC,
+
+		Branches:     res.Branches,
+		Mispredicted: res.Mispredicted,
+		MispredRate:  res.MispredRate,
+		Misfetches:   res.Misfetches,
+
+		FetchIPC: res.FetchIPC,
+		Fetch: FetchReport{
+			Delivered:        res.Fetch.Delivered,
+			Cycles:           res.Fetch.Cycles,
+			DeliveryCycles:   res.Fetch.DeliveryCycles,
+			Units:            res.Fetch.Units,
+			UnitInsts:        res.Fetch.UnitInsts,
+			PredictorLookups: res.Fetch.PredictorLookups,
+			PredictorHits:    res.Fetch.PredictorHits,
+			MeanUnitLen:      res.Fetch.MeanUnitLen(),
+			FetchIPC:         res.Fetch.FetchIPC(),
+		},
+		ICache: CacheReport{res.ICache.Accesses, res.ICache.Misses, res.ICache.MissRate()},
+		DCache: CacheReport{res.DCache.Accesses, res.DCache.Misses, res.DCache.MissRate()},
+		L2:     CacheReport{res.L2.Accesses, res.L2.Misses, res.L2.MissRate()},
+	}
+	for i, n := range res.MispredByType {
+		if n == 0 {
+			continue
+		}
+		if rep.MispredByType == nil {
+			rep.MispredByType = map[string]uint64{}
+		}
+		rep.MispredByType[isa.BranchType(i).String()] = n
+	}
+	return rep
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s %-8s %-9s w=%d IPC=%.3f fetchIPC=%.2f mispred=%.2f%% misfetch=%d icacheMiss=%.3f%%",
+		r.Benchmark, r.Engine, r.Layout, r.Width, r.IPC, r.FetchIPC,
+		100*r.MispredRate, r.Misfetches, 100*r.ICache.MissRate)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Experiment is one table or figure of the paper's evaluation in structured
+// form: labeled rows of values under named columns, renderable as aligned
+// text or JSON.
+type Experiment struct {
+	Name      string          `json:"name"`
+	Title     string          `json:"title"`
+	RowHeader string          `json:"row_header,omitempty"`
+	Columns   []string        `json:"columns,omitempty"`
+	Rows      []ExperimentRow `json:"rows"`
+	// Summary holds aggregate rows (e.g. a harmonic mean) kept apart
+	// from the data rows so JSON consumers never mistake them for data.
+	Summary []ExperimentRow `json:"summary,omitempty"`
+	Notes   []string        `json:"notes,omitempty"`
+
+	// Formats holds per-column fmt verbs for text rendering ("" = %.3f);
+	// JSON output carries the raw values instead.
+	Formats []string `json:"-"`
+}
+
+// ExperimentRow is one labeled row: numeric cells first, then any textual
+// cells (e.g. Table 1's "paper" column).
+type ExperimentRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values,omitempty"`
+	Text   []string  `json:"text,omitempty"`
+}
+
+// AddRow appends a numeric row.
+func (e *Experiment) AddRow(label string, values ...float64) {
+	e.Rows = append(e.Rows, ExperimentRow{Label: label, Values: values})
+}
+
+// AddSummary appends a numeric aggregate row.
+func (e *Experiment) AddSummary(label string, values ...float64) {
+	e.Summary = append(e.Summary, ExperimentRow{Label: label, Values: values})
+}
+
+// WriteJSON writes the experiment as indented JSON.
+func (e *Experiment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// cell renders column j of a row: values first, then text cells.
+func (e *Experiment) cell(row ExperimentRow, j int) string {
+	if j < len(row.Values) {
+		format := "%.3f"
+		if j < len(e.Formats) && e.Formats[j] != "" {
+			format = e.Formats[j]
+		}
+		return fmt.Sprintf(format, row.Values[j])
+	}
+	if k := j - len(row.Values); k < len(row.Text) {
+		return row.Text[k]
+	}
+	return ""
+}
+
+// WriteText renders the experiment as an aligned text table: the title,
+// a header naming the label column and value columns, one line per row, and
+// any notes.
+func (e *Experiment) WriteText(w io.Writer) {
+	fmt.Fprintln(w, e.Title)
+	all := append(append([]ExperimentRow(nil), e.Rows...), e.Summary...)
+	labelW := len(e.RowHeader)
+	for _, row := range all {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	colW := make([]int, len(e.Columns))
+	for j, name := range e.Columns {
+		colW[j] = len(name)
+		for _, row := range all {
+			if n := len(e.cell(row, j)); n > colW[j] {
+				colW[j] = n
+			}
+		}
+	}
+	if len(e.Columns) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %-*s", labelW, e.RowHeader)
+		for j, name := range e.Columns {
+			fmt.Fprintf(&b, "  %*s", colW[j], name)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, row := range all {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  %-*s", labelW, row.Label)
+		for j := range e.Columns {
+			fmt.Fprintf(&b, "  %*s", colW[j], e.cell(row, j))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	for _, note := range e.Notes {
+		fmt.Fprintf(w, "  %s\n", note)
+	}
+}

@@ -1,0 +1,352 @@
+// Package streamfetch is the public API of the stream fetch engine
+// reproduction (Ramirez, Santana, Larriba-Pey & Valero, MICRO-35): a
+// session builder that owns the workload → profile → layout → trace → sim
+// pipeline, a registry-backed set of fetch engines, and structured,
+// JSON-marshallable reports.
+//
+// A session is built with functional options and run under a context:
+//
+//	rep, err := streamfetch.New("164.gzip",
+//		streamfetch.WithWidth(8),
+//		streamfetch.WithEngine("streams"),
+//		streamfetch.WithOptimizedLayout(),
+//		streamfetch.WithSeed(99),
+//	).Run(ctx)
+//
+// Prepared artifacts (program, layouts, trace) are cached in the session,
+// so RunWith can sweep engines, widths and layouts cheaply:
+//
+//	s := streamfetch.New("176.gcc", streamfetch.WithOptimizedLayout())
+//	for _, e := range streamfetch.Engines() {
+//		rep, err := s.RunWith(ctx, streamfetch.WithEngine(e))
+//		...
+//	}
+//
+// New fetch engines plug in through the registry in internal/frontend:
+// Register a factory under a name and every sweep, table and cmd picks it
+// up by that name.
+package streamfetch
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"context"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/frontend"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+// Engines lists the registered fetch engines in registration order: the
+// paper's four (ev8, ftb, streams, tcache) first, then any extensions.
+func Engines() []string { return frontend.Engines() }
+
+// Benchmarks lists the synthetic benchmark suite by name.
+func Benchmarks() []string {
+	suite := workload.Suite()
+	names := make([]string, len(suite))
+	for i, p := range suite {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Layouts lists the code layout strategies a session accepts.
+func Layouts() []string { return []string{"base", "optimized"} }
+
+// checkLayout validates a layout name against Layouts.
+func checkLayout(name string) error {
+	for _, l := range Layouts() {
+		if name == l {
+			return nil
+		}
+	}
+	return fmt.Errorf("streamfetch: unknown layout %q (want %s)",
+		name, strings.Join(Layouts(), " or "))
+}
+
+// Progress is a snapshot handed to the WithProgress callback during a run.
+type Progress struct {
+	Benchmark string
+	Engine    string
+	Layout    string
+	Width     int
+	// Retired counts correct-path instructions committed so far; Total
+	// is the run's target (trace length, or MaxInstructions when lower).
+	Retired uint64
+	Total   uint64
+	Cycles  uint64
+}
+
+// prepared caches the expensive artifacts a session builds once and reuses
+// across runs. The optimized layout is built lazily on first use.
+type prepared struct {
+	mu   sync.Mutex
+	prog *cfg.Program
+	base *layout.Layout
+	opt  *layout.Layout
+	ref  *trace.Trace
+}
+
+// Session is one configured simulation pipeline. Options passed to New fix
+// its defaults; RunWith overrides them per run while sharing the prepared
+// workload, layouts and trace. A Session is safe for concurrent RunWith
+// calls.
+type Session struct {
+	benchmark  string
+	width      int
+	engine     string
+	engineOpts any
+	layoutName string
+	seed       uint64
+	trainSeed  uint64
+	insts      uint64
+	trainInsts uint64
+	maxInsts   uint64
+	lineBytes  int
+	traceFile  string
+
+	progressEvery uint64
+	onProgress    func(Progress)
+
+	prep *prepared
+}
+
+// prepKey captures every field that shapes the prepared artifacts; when a
+// RunWith override changes one, the override runs with fresh preparation.
+type prepKey struct {
+	benchmark, traceFile string
+	seed, trainSeed      uint64
+	insts, trainInsts    uint64
+}
+
+func (s *Session) key() prepKey {
+	return prepKey{s.benchmark, s.traceFile, s.seed, s.trainSeed, s.insts, s.trainInsts}
+}
+
+// New builds a session for one benchmark with the paper's defaults: 8-wide
+// pipe, the streams engine, base layout, reference seed 99 (train seed 7),
+// and a 2M-instruction trace. Configuration errors surface from
+// Run/Prepare, so calls chain: New(...).Run(ctx).
+func New(benchmark string, opts ...Option) *Session {
+	s := &Session{
+		benchmark:  benchmark,
+		width:      8,
+		engine:     "streams",
+		layoutName: "base",
+		seed:       99,
+		trainSeed:  7,
+		insts:      2_000_000,
+		prep:       &prepared{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+func (s *Session) validate() error {
+	if s.benchmark == "" {
+		return errors.New("streamfetch: empty benchmark name")
+	}
+	if s.width <= 0 {
+		return fmt.Errorf("streamfetch: invalid pipe width %d", s.width)
+	}
+	return checkLayout(s.layoutName)
+}
+
+// ensure prepares (or reuses) the program, the requested layout and — when
+// withTrace is set — the reference trace (generating it is as expensive as a
+// run, so artifact accessors skip it).
+func (s *Session) ensure(ctx context.Context, layoutName string, withTrace bool) (*layout.Layout, *trace.Trace, error) {
+	p := s.prep
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prog == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		params, err := workload.ByName(s.benchmark)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.prog = workload.Generate(params)
+		p.base = layout.Baseline(p.prog)
+	}
+	if withTrace && p.ref == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if s.traceFile != "" {
+			f, err := os.Open(s.traceFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			tr, err := trace.Read(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("streamfetch: reading trace %s: %w", s.traceFile, err)
+			}
+			p.ref = tr
+		} else {
+			p.ref = trace.Generate(p.prog, trace.GenConfig{Seed: s.seed, MaxInsts: s.insts})
+		}
+	}
+	if err := checkLayout(layoutName); err != nil {
+		return nil, nil, err
+	}
+	var lay *layout.Layout
+	switch layoutName {
+	case "base":
+		lay = p.base
+	case "optimized":
+		if p.opt == nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			train := s.trainInsts
+			if train == 0 {
+				train = s.insts / 4
+			}
+			prof := trace.CollectProfile(p.prog, s.trainSeed, train)
+			p.opt = layout.Optimized(p.prog, prof)
+		}
+		lay = p.opt
+	}
+	return lay, p.ref, nil
+}
+
+// Prepare builds the session's artifacts (program, configured layout,
+// trace) without running a simulation. Run calls it implicitly; sweeps call
+// it up front to separate preparation cost from simulation cost.
+func (s *Session) Prepare(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	_, _, err := s.ensure(ctx, s.layoutName, true)
+	return err
+}
+
+// Program returns the synthesized benchmark program, preparing it if
+// needed.
+func (s *Session) Program() (*cfg.Program, error) {
+	if _, _, err := s.ensure(context.Background(), "base", false); err != nil {
+		return nil, err
+	}
+	return s.prep.prog, nil
+}
+
+// Layout returns the named code layout ("base" or "optimized"), preparing
+// it if needed.
+func (s *Session) Layout(name string) (*layout.Layout, error) {
+	lay, _, err := s.ensure(context.Background(), name, false)
+	return lay, err
+}
+
+// Trace returns the reference trace, generating (or reading) it if needed.
+func (s *Session) Trace() (*trace.Trace, error) {
+	_, tr, err := s.ensure(context.Background(), "base", true)
+	return tr, err
+}
+
+// Benchmark returns the session's benchmark name.
+func (s *Session) Benchmark() string { return s.benchmark }
+
+// Run executes the session's configured simulation. The context cancels
+// long runs: on cancellation the partial report is returned together with
+// ctx.Err().
+func (s *Session) Run(ctx context.Context) (*Report, error) {
+	return s.RunWith(ctx)
+}
+
+// RunWith executes one simulation with per-run option overrides, sharing
+// the session's prepared artifacts. Overriding a preparation-phase option
+// (benchmark, seeds, instruction counts, trace file) re-prepares for that
+// run only.
+func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run := *s
+	before := run.key()
+	for _, o := range opts {
+		o(&run)
+	}
+	if run.key() != before {
+		run.prep = &prepared{}
+	}
+	if err := run.validate(); err != nil {
+		return nil, err
+	}
+	lay, tr, err := run.ensure(ctx, run.layoutName, true)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := sim.Config{
+		Width:            run.width,
+		Engine:           run.engine,
+		EngineOptions:    run.engineOpts,
+		MaxInsts:         run.maxInsts,
+		ProgressInterval: run.progressEvery,
+	}
+	if run.lineBytes > 0 {
+		cfg.Hier = cache.DefaultHierarchy(run.width)
+		cfg.Hier.ICache.LineBytes = run.lineBytes
+	}
+	total := tr.Insts
+	if run.maxInsts > 0 && run.maxInsts < total {
+		total = run.maxInsts
+	}
+	cb := run.onProgress
+	cfg.OnProgress = func(retired, cycles uint64) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if cb != nil {
+			cb(Progress{
+				Benchmark: run.benchmark,
+				Engine:    run.engine,
+				Layout:    lay.Name,
+				Width:     run.width,
+				Retired:   retired,
+				Total:     total,
+				Cycles:    cycles,
+			})
+		}
+		return true
+	}
+
+	proc, err := sim.New(lay, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := proc.Run()
+	seed := run.seed
+	if run.traceFile != "" {
+		// A replayed trace was not generated from the session seed;
+		// don't attribute it to one.
+		seed = 0
+	}
+	rep := newReport(run.benchmark, lay, tr, seed, res)
+	if res.Aborted {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
