@@ -35,30 +35,38 @@ var (
 	prepOnce    sync.Once
 	prepBenches []experiments.Bench
 	prepCfg     experiments.Config
+	prepErr     error
 )
 
 // prepared builds a three-benchmark subset once, shared by every benchmark.
-func prepared() ([]experiments.Bench, experiments.Config) {
+func prepared(b *testing.B) ([]experiments.Bench, experiments.Config) {
+	b.Helper()
 	prepOnce.Do(func() {
 		prepCfg = experiments.DefaultConfig()
 		prepCfg.TraceInsts = benchInsts
 		prepCfg.TrainInsts = benchInsts / 4
 		prepCfg.Benchmarks = []string{"164.gzip", "176.gcc", "300.twolf"}
-		prepBenches = experiments.Prepare(prepCfg)
+		prepBenches, prepErr = experiments.Prepare(context.Background(), prepCfg)
 	})
+	if prepErr != nil {
+		b.Fatal(prepErr)
+	}
 	return prepBenches, prepCfg
 }
 
 // BenchmarkFig8IPC regenerates Figure 8: harmonic-mean IPC per engine and
 // layout, for 2-, 4- and 8-wide pipelines.
 func BenchmarkFig8IPC(b *testing.B) {
-	benches, cfg := prepared()
+	benches, cfg := prepared(b)
 	for _, width := range []int{2, 4, 8} {
 		width := width
 		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cells := experiments.Sweep(benches, width,
+				cells, err := experiments.Sweep(context.Background(), benches, width,
 					[]string{"base", "optimized"}, streamfetch.Engines(), cfg.Parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
 				h := experiments.HarmonicIPC(cells)
 				for _, e := range streamfetch.Engines() {
 					b.ReportMetric(h[[2]string{"optimized", e}], e+"-opt-IPC")
@@ -71,20 +79,27 @@ func BenchmarkFig8IPC(b *testing.B) {
 // BenchmarkFig9PerBenchmark regenerates Figure 9: per-benchmark IPC on the
 // 8-wide optimized configuration.
 func BenchmarkFig9PerBenchmark(b *testing.B) {
-	benches, cfg := prepared()
+	benches, cfg := prepared(b)
 	for i := 0; i < b.N; i++ {
-		experiments.Fig9(io.Discard, benches, cfg)
+		if err := experiments.Fig9(io.Discard, benches, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkTable1UnitSizes regenerates Table 1: mean dynamic fetch-unit
 // sizes (basic block, trace, stream).
 func BenchmarkTable1UnitSizes(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	for i := 0; i < b.N; i++ {
 		var bb, st, tr []float64
 		for _, bench := range benches {
-			u := experiments.UnitSizes(bench.Prog, bench.Opt, bench.Ref)
+			src, err := bench.Session.Source()
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := experiments.UnitSizes(bench.Opt, src)
+			src.Close()
 			bb = append(bb, u.BasicBlock)
 			st = append(st, u.Stream)
 			tr = append(tr, u.Trace)
@@ -98,13 +113,16 @@ func BenchmarkTable1UnitSizes(b *testing.B) {
 // BenchmarkTable3FetchMetrics regenerates Table 3: misprediction rate and
 // fetch IPC per engine on the 8-wide processor with optimized layouts.
 func BenchmarkTable3FetchMetrics(b *testing.B) {
-	benches, cfg := prepared()
+	benches, cfg := prepared(b)
 	for _, e := range streamfetch.Engines() {
 		e := e
 		b.Run(e, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cells := experiments.Sweep(benches, 8,
+				cells, err := experiments.Sweep(context.Background(), benches, 8,
 					[]string{"optimized"}, []string{e}, cfg.Parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
 				var mp, fi []float64
 				for _, c := range cells {
 					mp = append(mp, c.Result.MispredRate)
@@ -137,7 +155,7 @@ func runStreams(b *testing.B, bench experiments.Bench, opts ...streamfetch.Optio
 // 4x the pipe width) for the stream engine, the misalignment effect of
 // Figure 7: longer lines reduce the chance a stream crosses a line boundary.
 func BenchmarkFig7Misalignment(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	for _, mult := range []int{1, 2, 4} {
 		mult := mult
 		b.Run(fmt.Sprintf("line%dx", mult), func(b *testing.B) {
@@ -157,7 +175,7 @@ func BenchmarkFig7Misalignment(b *testing.B) {
 // choices of §3.2: the full cascade, no mispredict upgrades, a single
 // address-indexed table, and strict path priority on double hits.
 func BenchmarkAblationStreamPredictor(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	variants := []struct {
 		name string
 		mut  func(*core.PredictorConfig)
@@ -194,7 +212,7 @@ func BenchmarkAblationStreamPredictor(b *testing.B) {
 // per cycle. The wide line wins on misalignment without the interchange
 // network.
 func BenchmarkAblationICacheBanks(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	variants := []struct {
 		name     string
 		lineMult int
@@ -226,7 +244,7 @@ func BenchmarkAblationICacheBanks(b *testing.B) {
 // BenchmarkAblationFTQDepth sweeps the fetch target queue depth (the
 // decoupling buffer of §3.3).
 func BenchmarkAblationFTQDepth(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	for _, depth := range []int{1, 2, 4, 8} {
 		depth := depth
 		b.Run(fmt.Sprintf("ftq%d", depth), func(b *testing.B) {
@@ -247,7 +265,7 @@ func BenchmarkAblationFTQDepth(b *testing.B) {
 // BenchmarkSimThroughput measures raw simulator speed (simulated
 // instructions per second) for each engine.
 func BenchmarkSimThroughput(b *testing.B) {
-	benches, _ := prepared()
+	benches, _ := prepared(b)
 	bench := benches[0]
 	for _, e := range streamfetch.Engines() {
 		e := e

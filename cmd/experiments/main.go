@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -44,26 +47,38 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing %s benchmarks (%d instructions each)...\n",
 		benchCount(cfg), cfg.TraceInsts)
-	benches := experiments.Prepare(cfg)
+	benches, err := experiments.Prepare(ctx, cfg)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Fprintf(os.Stderr, "prepared in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	// Each producer computes one batch of experiments; text mode renders
 	// a batch as soon as it is ready, JSON mode collects everything into
 	// one array.
-	type producer func() []*streamfetch.Experiment
-	one := func(f func() *streamfetch.Experiment) producer {
-		return func() []*streamfetch.Experiment { return []*streamfetch.Experiment{f()} }
+	type producer func() ([]*streamfetch.Experiment, error)
+	one := func(f func() (*streamfetch.Experiment, error)) producer {
+		return func() ([]*streamfetch.Experiment, error) {
+			e, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return []*streamfetch.Experiment{e}, nil
+		}
 	}
-	table2 := one(experiments.Table2Data)
-	table1 := one(func() *streamfetch.Experiment { return experiments.Table1Data(benches) })
-	fig8 := func() []*streamfetch.Experiment { return experiments.Fig8Data(benches, cfg) }
-	fig9 := one(func() *streamfetch.Experiment { return experiments.Fig9Data(benches, cfg) })
-	table3 := one(func() *streamfetch.Experiment { return experiments.Table3Data(benches, cfg) })
-	ablation := one(func() *streamfetch.Experiment { return experiments.AblationData(benches, cfg) })
-	dist := one(func() *streamfetch.Experiment { return experiments.DistributionData(benches) })
+	table2 := one(func() (*streamfetch.Experiment, error) { return experiments.Table2Data(), nil })
+	table1 := one(func() (*streamfetch.Experiment, error) { return experiments.Table1Data(benches) })
+	fig8 := func() ([]*streamfetch.Experiment, error) { return experiments.Fig8Data(ctx, benches, cfg) }
+	fig9 := one(func() (*streamfetch.Experiment, error) { return experiments.Fig9Data(ctx, benches, cfg) })
+	table3 := one(func() (*streamfetch.Experiment, error) { return experiments.Table3Data(ctx, benches, cfg) })
+	ablation := one(func() (*streamfetch.Experiment, error) { return experiments.AblationData(ctx, benches, cfg) })
+	dist := one(func() (*streamfetch.Experiment, error) { return experiments.DistributionData(benches) })
 
 	var producers []producer
 	switch *exp {
@@ -89,13 +104,21 @@ func main() {
 	if *asJSON {
 		var exps []*streamfetch.Experiment
 		for _, p := range producers {
-			exps = append(exps, p()...)
+			batch, err := p()
+			if err != nil {
+				fail(err)
+			}
+			exps = append(exps, batch...)
 		}
 		emitJSON(exps)
 	} else {
 		first := true
 		for _, p := range producers {
-			for _, e := range p() {
+			batch, err := p()
+			if err != nil {
+				fail(err)
+			}
+			for _, e := range batch {
 				if !first {
 					fmt.Println()
 				}
@@ -105,6 +128,15 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "\ntotal %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// fail reports a fatal error; an interrupt exits with the conventional 130.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }
 
 // emitJSON writes the experiments to stdout as one JSON array.

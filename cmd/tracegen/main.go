@@ -1,19 +1,27 @@
 // Command tracegen generates benchmark traces and writes them in the binary
-// trace format, or inspects existing trace files.
+// trace format, or inspects existing trace files. It drives the public
+// streamfetch session API.
+//
+// With -stream the trace is encoded as it is generated, so traces far
+// larger than RAM (the paper's 300M-instruction scale and beyond) are
+// written in constant memory. Without it the trace is materialized first,
+// which also prints its mean block length.
 //
 // Usage:
 //
 //	tracegen -bench 164.gzip -insts 2000000 -o gzip.trc
+//	tracegen -bench 176.gcc -insts 300000000 -stream -o gcc.trc
 //	tracegen -inspect gzip.trc
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"streamfetch/internal/trace"
-	"streamfetch/internal/workload"
+	"streamfetch"
 )
 
 func main() {
@@ -21,55 +29,87 @@ func main() {
 	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
 	seed := flag.Uint64("seed", 99, "branch behaviour seed (input selection)")
 	out := flag.String("o", "", "output trace file")
+	stream := flag.Bool("stream", false,
+		"stream blocks to the output as they are generated (constant memory, any trace length)")
 	inspect := flag.String("inspect", "", "print a summary of an existing trace file")
 	flag.Parse()
 
 	if *inspect != "" {
 		f, err := os.Open(*inspect)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
-		tr, err := trace.Read(f)
+		info, err := streamfetch.InspectTrace(f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("trace   %s\n", tr.Name)
-		fmt.Printf("blocks  %d\n", len(tr.Blocks))
-		fmt.Printf("insts   %d\n", tr.Insts)
-		if len(tr.Blocks) > 0 {
-			fmt.Printf("mean block length %.2f instructions\n",
-				float64(tr.Insts)/float64(len(tr.Blocks)))
-		}
+		printInfo("trace", info)
 		return
 	}
-
-	params, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	prog := workload.Generate(params)
-	tr := trace.Generate(prog, trace.GenConfig{Seed: *seed, MaxInsts: *insts})
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "missing -o output file")
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first interrupt cancels the context (which stops a
+		// -stream export), restore the default handler so a second
+		// Ctrl-C kills the process even mid-materialization.
+		<-ctx.Done()
+		stop()
+	}()
+
+	session := streamfetch.New(*bench,
+		streamfetch.WithInstructions(*insts),
+		streamfetch.WithSeed(*seed),
+	)
+
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	if err := tr.Write(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var info streamfetch.TraceInfo
+	if *stream {
+		// Blocks flow straight from the seeded CFG walk into the encoder.
+		info, err = session.WriteTrace(ctx, f)
+	} else {
+		tr, terr := session.Trace()
+		err = terr
+		if err == nil {
+			err = tr.Write(f)
+		}
+		if err == nil {
+			info = streamfetch.TraceInfo{
+				Name:   tr.Name,
+				Blocks: uint64(len(tr.Blocks)),
+				Insts:  tr.Insts,
+			}
+		}
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(*out)
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("wrote %s: %d blocks, %d instructions\n", *out, len(tr.Blocks), tr.Insts)
+	printInfo(fmt.Sprintf("wrote %s:", *out), info)
+}
+
+func printInfo(prefix string, info streamfetch.TraceInfo) {
+	fmt.Printf("%s %s\n", prefix, info.Name)
+	fmt.Printf("blocks  %d\n", info.Blocks)
+	fmt.Printf("insts   %d\n", info.Insts)
+	if info.Blocks > 0 {
+		fmt.Printf("mean block length %.2f instructions\n", info.MeanBlockLen())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -28,13 +28,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	tr, err := session.Trace()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 
-	fmt.Printf("%s, optimized layout, %d instructions\n\n", *bench, tr.Insts)
+	fmt.Printf("%s, optimized layout, %d instructions\n\n", *bench, *insts)
 	for _, width := range []int{2, 4, 8} {
 		fmt.Printf("%d-wide pipeline:\n", width)
 		fmt.Printf("  %-8s %8s %10s %10s %10s\n", "engine", "IPC", "fetch IPC", "mispred", "unit size")

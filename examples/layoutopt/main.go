@@ -2,9 +2,9 @@
 // profile-guided code layout changes the conditional taken rate, the mean
 // stream length, and the instruction cache miss rate — the three effects
 // (§2.4) the stream fetch architecture exploits. Sessions prepare both
-// layouts over a shared trace; the static walk uses the session's
-// artifacts directly and the I-cache miss rate comes from a stream-engine
-// run.
+// layouts once; the static walk streams the trace from a fresh session
+// source per layout (nothing is materialized) and the I-cache miss rate
+// comes from a stream-engine run.
 package main
 
 import (
@@ -29,11 +29,6 @@ func main() {
 			streamfetch.WithInstructions(1_000_000),
 			streamfetch.WithTrainInstructions(500_000),
 		)
-		tr, err := session.Trace()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 
 		var cells [2][3]float64
 		for i, layoutName := range streamfetch.Layouts() {
@@ -51,7 +46,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			taken, stream := measure(lay, tr)
+			src, err := session.Source()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			taken, stream := measure(lay, src)
+			src.Close()
 			cells[i] = [3]float64{taken, stream, rep.ICache.MissRate}
 		}
 		fmt.Printf("%-14s %7.1f%% %8.1f %7.2f%% %7.1f%% %8.1f %7.2f%%\n",
@@ -62,16 +63,12 @@ func main() {
 }
 
 // measure returns (conditional taken rate, mean stream length) from a
-// static walk of the trace under the layout.
-func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen float64) {
+// static walk of the streamed trace under the layout.
+func measure(lay *layout.Layout, src trace.Source) (takenRate, streamLen float64) {
 	var buf []layout.DynInst
 	var cond, condTaken, insts, taken uint64
-	for i, id := range tr.Blocks {
-		next := cfg.NoBlock
-		if i+1 < len(tr.Blocks) {
-			next = tr.Blocks[i+1]
-		}
-		buf = lay.AppendDyn(buf[:0], id, next)
+	trace.ForEachPair(src, func(cur, next cfg.BlockID) {
+		buf = lay.AppendDyn(buf[:0], cur, next)
 		for _, d := range buf {
 			insts++
 			if d.Branch == isa.BranchCond {
@@ -84,6 +81,6 @@ func measure(lay *layout.Layout, tr *trace.Trace) (takenRate, streamLen float64)
 				taken++
 			}
 		}
-	}
+	})
 	return float64(condTaken) / float64(cond), float64(insts) / float64(taken)
 }

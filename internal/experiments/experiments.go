@@ -19,9 +19,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"streamfetch"
 	"streamfetch/internal/cfg"
@@ -72,27 +74,28 @@ func (c Config) engines() []string {
 }
 
 // Bench bundles one prepared benchmark: the session owning its artifacts,
-// plus direct handles on the program, layouts and trace for the analyses
-// that walk them (Table 1, stream length distributions).
+// plus direct handles on the program and layouts for the analyses that walk
+// them (Table 1, stream length distributions). Traces are not materialized;
+// analyses pull fresh streaming sources from the session.
 type Bench struct {
 	Name    string
 	Session *streamfetch.Session
 	Prog    *cfg.Program
 	Base    *layout.Layout
 	Opt     *layout.Layout
-	Ref     *trace.Trace
 }
 
 // Prepare synthesizes the benchmark set through streamfetch sessions:
-// generate programs, profile with the train input, build both layouts, and
-// generate the ref trace. It panics on an unknown benchmark name.
-func Prepare(c Config) []Bench {
+// generate programs, profile with the train input, and build both layouts.
+// Preparation runs on a bounded worker pool; the context cancels it, and
+// failures (e.g. an unknown benchmark name) are returned, not panicked.
+func Prepare(ctx context.Context, c Config) ([]Bench, error) {
 	names := c.Benchmarks
 	if names == nil {
 		names = streamfetch.Benchmarks()
 	}
 	out := make([]Bench, len(names))
-	run := func(i int) {
+	err := forEach(ctx, len(names), c.Parallel, func(i int) error {
 		s := streamfetch.New(names[i],
 			streamfetch.WithInstructions(c.TraceInsts),
 			streamfetch.WithTrainInstructions(c.TrainInsts),
@@ -101,42 +104,70 @@ func Prepare(c Config) []Bench {
 		)
 		prog, err := s.Program()
 		if err != nil {
-			panic(err)
+			return err
 		}
 		base, err := s.Layout("base")
 		if err != nil {
-			panic(err)
+			return err
 		}
 		opt, err := s.Layout("optimized")
 		if err != nil {
-			panic(err)
+			return err
 		}
-		ref, err := s.Trace()
-		if err != nil {
-			panic(err)
-		}
-		out[i] = Bench{Name: names[i], Session: s, Prog: prog, Base: base, Opt: opt, Ref: ref}
+		out[i] = Bench{Name: names[i], Session: s, Prog: prog, Base: base, Opt: opt}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	forEach(len(names), c.Parallel, run)
-	return out
+	return out, nil
 }
 
-func forEach(n int, parallel bool, f func(i int)) {
-	if !parallel {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
+// forEach runs f(0..n-1) on a bounded worker pool: GOMAXPROCS workers when
+// parallel, one otherwise. The first error (or context cancellation) stops
+// new work from being claimed; in-flight calls finish, every worker joins
+// before return (no goroutine leaks), and that first error is returned.
+func forEach(ctx context.Context, n int, parallel bool, f func(i int) error) error {
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			f(i)
-		}(i)
+			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // Cell is one simulation outcome within a sweep.
@@ -146,8 +177,11 @@ type Cell struct {
 	Result *streamfetch.Report
 }
 
-// Sweep runs every (benchmark, layout, engine) combination at one width.
-func Sweep(benches []Bench, width int, layouts []string, engines []string, parallel bool) []Cell {
+// Sweep runs every (benchmark, layout, engine) combination at one width on
+// a bounded worker pool. On error or cancellation it returns the cells that
+// completed (in job order, incomplete cells dropped) together with the
+// first error, so a cancelled sweep still yields its partial results.
+func Sweep(ctx context.Context, benches []Bench, width int, layouts []string, engines []string, parallel bool) ([]Cell, error) {
 	type job struct {
 		b      Bench
 		layout string
@@ -162,19 +196,29 @@ func Sweep(benches []Bench, width int, layouts []string, engines []string, paral
 		}
 	}
 	cells := make([]Cell, len(jobs))
-	forEach(len(jobs), parallel, func(i int) {
+	err := forEach(ctx, len(jobs), parallel, func(i int) error {
 		j := jobs[i]
-		rep, err := j.b.Session.RunWith(context.Background(),
+		rep, err := j.b.Session.RunWith(ctx,
 			streamfetch.WithWidth(width),
 			streamfetch.WithLayout(j.layout),
 			streamfetch.WithEngine(j.engine),
 		)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("%s/%s/%s w=%d: %w", j.b.Name, j.layout, j.engine, width, err)
 		}
 		cells[i] = Cell{Bench: j.b.Name, Layout: j.layout, Result: rep}
+		return nil
 	})
-	return cells
+	if err != nil {
+		done := cells[:0]
+		for _, c := range cells {
+			if c.Result != nil {
+				done = append(done, c)
+			}
+		}
+		return done, err
+	}
+	return cells, nil
 }
 
 // HarmonicIPC aggregates the harmonic-mean IPC per (layout, engine) over the
@@ -195,10 +239,13 @@ func HarmonicIPC(cells []Cell) map[[2]string]float64 {
 // Fig8Data computes Figure 8: harmonic-mean IPC for 2-, 4- and 8-wide
 // pipelines, base and optimized layouts, every engine — one experiment per
 // width.
-func Fig8Data(benches []Bench, c Config) []*streamfetch.Experiment {
+func Fig8Data(ctx context.Context, benches []Bench, c Config) ([]*streamfetch.Experiment, error) {
 	var exps []*streamfetch.Experiment
 	for _, width := range []int{2, 4, 8} {
-		cells := Sweep(benches, width, []string{"base", "optimized"}, c.engines(), c.Parallel)
+		cells, err := Sweep(ctx, benches, width, []string{"base", "optimized"}, c.engines(), c.Parallel)
+		if err != nil {
+			return nil, err
+		}
 		h := HarmonicIPC(cells)
 		e := &streamfetch.Experiment{
 			Name: fmt.Sprintf("fig8-w%d", width),
@@ -212,22 +259,30 @@ func Fig8Data(benches []Bench, c Config) []*streamfetch.Experiment {
 		}
 		exps = append(exps, e)
 	}
-	return exps
+	return exps, nil
 }
 
 // Fig8 renders Figure 8's three sub-figures as text.
-func Fig8(w io.Writer, benches []Bench, c Config) {
-	for _, e := range Fig8Data(benches, c) {
+func Fig8(w io.Writer, benches []Bench, c Config) error {
+	exps, err := Fig8Data(context.Background(), benches, c)
+	if err != nil {
+		return err
+	}
+	for _, e := range exps {
 		e.WriteText(w)
 		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // Fig9Data computes Figure 9: per-benchmark IPC for the 8-wide processor
 // with optimized layouts, with a harmonic-mean summary row.
-func Fig9Data(benches []Bench, c Config) *streamfetch.Experiment {
+func Fig9Data(ctx context.Context, benches []Bench, c Config) (*streamfetch.Experiment, error) {
 	engines := c.engines()
-	cells := Sweep(benches, 8, []string{"optimized"}, engines, c.Parallel)
+	cells, err := Sweep(ctx, benches, 8, []string{"optimized"}, engines, c.Parallel)
+	if err != nil {
+		return nil, err
+	}
 	byBench := map[string]map[string]float64{}
 	for _, cell := range cells {
 		if byBench[cell.Bench] == nil {
@@ -260,18 +315,23 @@ func Fig9Data(benches []Bench, c Config) *streamfetch.Experiment {
 		hmean[j] = stats.HarmonicMean(perEngine[eng])
 	}
 	e.AddSummary("Hmean", hmean...)
-	return e
+	return e, nil
 }
 
 // Fig9 renders Figure 9 as text.
-func Fig9(w io.Writer, benches []Bench, c Config) {
-	Fig9Data(benches, c).WriteText(w)
+func Fig9(w io.Writer, benches []Bench, c Config) error {
+	e, err := Fig9Data(context.Background(), benches, c)
+	if err != nil {
+		return err
+	}
+	e.WriteText(w)
+	return nil
 }
 
 // Table3Data computes Table 3: branch misprediction rate and fetch IPC for
 // the 8-wide processor, base and optimized layouts. Misprediction rates are
 // stored in percent.
-func Table3Data(benches []Bench, c Config) *streamfetch.Experiment {
+func Table3Data(ctx context.Context, benches []Bench, c Config) (*streamfetch.Experiment, error) {
 	e := &streamfetch.Experiment{
 		Name:      "table3",
 		Title:     "Table 3: misprediction rate and fetch IPC, 8-wide processor",
@@ -282,7 +342,10 @@ func Table3Data(benches []Bench, c Config) *streamfetch.Experiment {
 	for _, eng := range c.engines() {
 		row := map[string][2]float64{}
 		for _, l := range []string{"base", "optimized"} {
-			cells := Sweep(benches, 8, []string{l}, []string{eng}, c.Parallel)
+			cells, err := Sweep(ctx, benches, 8, []string{l}, []string{eng}, c.Parallel)
+			if err != nil {
+				return nil, err
+			}
 			var mp, fi []float64
 			for _, cell := range cells {
 				mp = append(mp, cell.Result.MispredRate)
@@ -293,21 +356,34 @@ func Table3Data(benches []Bench, c Config) *streamfetch.Experiment {
 		e.AddRow(engineLabel(eng),
 			100*row["base"][0], row["base"][1], 100*row["optimized"][0], row["optimized"][1])
 	}
-	return e
+	return e, nil
 }
 
 // Table3 renders Table 3 as text.
-func Table3(w io.Writer, benches []Bench, c Config) {
-	Table3Data(benches, c).WriteText(w)
+func Table3(w io.Writer, benches []Bench, c Config) error {
+	e, err := Table3Data(context.Background(), benches, c)
+	if err != nil {
+		return err
+	}
+	e.WriteText(w)
+	return nil
 }
 
 // Table1Data measures the fetch-unit size comparison of Table 1: mean
 // dynamic basic block, stream, and trace lengths on optimized layouts,
-// alongside the paper's reported ranges.
-func Table1Data(benches []Bench) *streamfetch.Experiment {
+// alongside the paper's reported ranges. Each benchmark's trace is streamed
+// from a fresh session source, never materialized.
+func Table1Data(benches []Bench) (*streamfetch.Experiment, error) {
 	var bb, st, tr []float64
 	for _, b := range benches {
-		u := UnitSizes(b.Prog, b.Opt, b.Ref)
+		src, err := b.Session.Source()
+		if err != nil {
+			return nil, err
+		}
+		u := UnitSizes(b.Opt, src)
+		if err := src.Close(); err != nil {
+			return nil, err
+		}
 		bb = append(bb, u.BasicBlock)
 		st = append(st, u.Stream)
 		tr = append(tr, u.Trace)
@@ -324,12 +400,17 @@ func Table1Data(benches []Bench) *streamfetch.Experiment {
 		streamfetch.ExperimentRow{Label: "trace (16-inst cap)", Values: []float64{stats.Mean(tr)}, Text: []string{"~14"}},
 		streamfetch.ExperimentRow{Label: "stream", Values: []float64{stats.Mean(st)}, Text: []string{"20+"}},
 	)
-	return e
+	return e, nil
 }
 
 // Table1 renders Table 1 as text.
-func Table1(w io.Writer, benches []Bench) {
-	Table1Data(benches).WriteText(w)
+func Table1(w io.Writer, benches []Bench) error {
+	e, err := Table1Data(benches)
+	if err != nil {
+		return err
+	}
+	e.WriteText(w)
+	return nil
 }
 
 // Units reports the mean dynamic fetch-unit sizes of one benchmark.
@@ -339,17 +420,14 @@ type Units struct {
 	Trace      float64
 }
 
-// UnitSizes computes Table-1 style unit sizes for one benchmark.
-func UnitSizes(prog *cfg.Program, lay *layout.Layout, tr *trace.Trace) Units {
+// UnitSizes computes Table-1 style unit sizes for one benchmark, streaming
+// the block sequence from src (which it consumes but does not close).
+func UnitSizes(lay *layout.Layout, src trace.Source) Units {
 	var insts, blocks, streams, traces uint64
 	var buf []layout.DynInst
 	var curTrace, curTraceCond int
-	for i, id := range tr.Blocks {
-		next := cfg.NoBlock
-		if i+1 < len(tr.Blocks) {
-			next = tr.Blocks[i+1]
-		}
-		buf = lay.AppendDyn(buf[:0], id, next)
+	trace.ForEachPair(src, func(cur, next cfg.BlockID) {
+		buf = lay.AppendDyn(buf[:0], cur, next)
 		blocks++
 		for _, d := range buf {
 			insts++
@@ -366,7 +444,7 @@ func UnitSizes(prog *cfg.Program, lay *layout.Layout, tr *trace.Trace) Units {
 				curTrace, curTraceCond = 0, 0
 			}
 		}
-	}
+	})
 	u := Units{}
 	if blocks > 0 {
 		u.BasicBlock = float64(insts) / float64(blocks)
@@ -382,17 +460,14 @@ func UnitSizes(prog *cfg.Program, lay *layout.Layout, tr *trace.Trace) Units {
 
 // StreamLengths computes the dynamic stream length distribution of one
 // benchmark under a layout (the property study of the authors' stream
-// front-end report: streams are long, especially in optimized codes).
-func StreamLengths(lay *layout.Layout, tr *trace.Trace) *stats.Histogram {
+// front-end report: streams are long, especially in optimized codes). The
+// block sequence streams from src (consumed, not closed).
+func StreamLengths(lay *layout.Layout, src trace.Source) *stats.Histogram {
 	h := stats.NewHistogram()
 	var buf []layout.DynInst
 	run := 0
-	for i, id := range tr.Blocks {
-		next := cfg.NoBlock
-		if i+1 < len(tr.Blocks) {
-			next = tr.Blocks[i+1]
-		}
-		buf = lay.AppendDyn(buf[:0], id, next)
+	trace.ForEachPair(src, func(cur, next cfg.BlockID) {
+		buf = lay.AppendDyn(buf[:0], cur, next)
 		for _, d := range buf {
 			run++
 			if d.IsBranch() && d.Taken {
@@ -400,13 +475,13 @@ func StreamLengths(lay *layout.Layout, tr *trace.Trace) *stats.Histogram {
 				run = 0
 			}
 		}
-	}
+	})
 	return h
 }
 
 // DistributionData computes stream length distributions per benchmark, base
 // vs optimized: mean and 50th/90th/99th percentiles.
-func DistributionData(benches []Bench) *streamfetch.Experiment {
+func DistributionData(benches []Bench) (*streamfetch.Experiment, error) {
 	e := &streamfetch.Experiment{
 		Name:      "dist",
 		Title:     "Stream length distribution (dynamic)",
@@ -416,18 +491,37 @@ func DistributionData(benches []Bench) *streamfetch.Experiment {
 		Formats: []string{"%.1f", "%.0f", "%.0f", "%.0f", "%.1f", "%.0f", "%.0f", "%.0f"},
 	}
 	for _, b := range benches {
-		hb := StreamLengths(b.Base, b.Ref)
-		ho := StreamLengths(b.Opt, b.Ref)
+		lengths := func(lay *layout.Layout) (*stats.Histogram, error) {
+			src, err := b.Session.Source()
+			if err != nil {
+				return nil, err
+			}
+			h := StreamLengths(lay, src)
+			return h, src.Close()
+		}
+		hb, err := lengths(b.Base)
+		if err != nil {
+			return nil, err
+		}
+		ho, err := lengths(b.Opt)
+		if err != nil {
+			return nil, err
+		}
 		e.AddRow(b.Name,
 			hb.Mean(), float64(hb.Percentile(0.5)), float64(hb.Percentile(0.9)), float64(hb.Percentile(0.99)),
 			ho.Mean(), float64(ho.Percentile(0.5)), float64(ho.Percentile(0.9)), float64(ho.Percentile(0.99)))
 	}
-	return e
+	return e, nil
 }
 
 // Distribution renders the stream length distributions as text.
-func Distribution(w io.Writer, benches []Bench) {
-	DistributionData(benches).WriteText(w)
+func Distribution(w io.Writer, benches []Bench) error {
+	e, err := DistributionData(benches)
+	if err != nil {
+		return err
+	}
+	e.WriteText(w)
+	return nil
 }
 
 // table2Setup is the simulated processor setup, one line per parameter.
@@ -473,7 +567,7 @@ func Table2(w io.Writer) {
 // optimized configuration: the full cascade, no mispredict upgrades, a
 // single address-indexed table, and strict path priority. Misprediction
 // rates are stored in percent.
-func AblationData(benches []Bench, c Config) *streamfetch.Experiment {
+func AblationData(ctx context.Context, benches []Bench, c Config) (*streamfetch.Experiment, error) {
 	e := &streamfetch.Experiment{
 		Name:      "ablation",
 		Title:     "Ablation: next stream predictor design choices (8-wide, optimized)",
@@ -491,32 +585,43 @@ func AblationData(benches []Bench, c Config) *streamfetch.Experiment {
 		{"strict path priority", func(p *core.PredictorConfig) { p.AlwaysPathPriority = true }},
 	}
 	for _, v := range variants {
-		var ipc, mp []float64
-		for _, b := range benches {
+		variant := v
+		ipc := make([]float64, len(benches))
+		mp := make([]float64, len(benches))
+		err := forEach(ctx, len(benches), c.Parallel, func(i int) error {
 			sc := frontend.DefaultStreamConfig()
-			if v.mut != nil {
-				v.mut(&sc.Predictor)
+			if variant.mut != nil {
+				variant.mut(&sc.Predictor)
 			}
-			rep, err := b.Session.RunWith(context.Background(),
+			rep, err := benches[i].Session.RunWith(ctx,
 				streamfetch.WithWidth(8),
 				streamfetch.WithEngine("streams"),
 				streamfetch.WithOptimizedLayout(),
 				streamfetch.WithEngineOptions(sc),
 			)
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("%s/%s: %w", benches[i].Name, variant.name, err)
 			}
-			ipc = append(ipc, rep.IPC)
-			mp = append(mp, rep.MispredRate)
+			ipc[i] = rep.IPC
+			mp[i] = rep.MispredRate
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		e.AddRow(v.name, stats.HarmonicMean(ipc), 100*stats.Mean(mp))
+		e.AddRow(variant.name, stats.HarmonicMean(ipc), 100*stats.Mean(mp))
 	}
-	return e
+	return e, nil
 }
 
 // Ablation renders the predictor ablation as text.
-func Ablation(w io.Writer, benches []Bench, c Config) {
-	AblationData(benches, c).WriteText(w)
+func Ablation(w io.Writer, benches []Bench, c Config) error {
+	e, err := AblationData(context.Background(), benches, c)
+	if err != nil {
+		return err
+	}
+	e.WriteText(w)
+	return nil
 }
 
 func engineLabel(e string) string {

@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func smallConfig() Config {
@@ -14,14 +18,23 @@ func smallConfig() Config {
 	return c
 }
 
+func mustPrepare(t *testing.T, c Config) []Bench {
+	t.Helper()
+	benches, err := Prepare(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return benches
+}
+
 func TestPrepare(t *testing.T) {
 	c := smallConfig()
-	benches := Prepare(c)
+	benches := mustPrepare(t, c)
 	if len(benches) != 1 {
 		t.Fatalf("prepared %d benches", len(benches))
 	}
 	b := benches[0]
-	if b.Session == nil || b.Prog == nil || b.Base == nil || b.Opt == nil || b.Ref == nil {
+	if b.Session == nil || b.Prog == nil || b.Base == nil || b.Opt == nil {
 		t.Fatal("incomplete bench")
 	}
 	if err := b.Base.Validate(); err != nil {
@@ -32,10 +45,22 @@ func TestPrepare(t *testing.T) {
 	}
 }
 
+// TestPrepareUnknownBenchmark: failures surface as errors, not panics.
+func TestPrepareUnknownBenchmark(t *testing.T) {
+	c := smallConfig()
+	c.Benchmarks = []string{"999.nope"}
+	if _, err := Prepare(context.Background(), c); err == nil {
+		t.Fatal("Prepare with unknown benchmark did not error")
+	}
+}
+
 func TestSweepAndHarmonic(t *testing.T) {
-	benches := Prepare(smallConfig())
-	cells := Sweep(benches, 4, []string{"base", "optimized"},
-		[]string{"streams"}, false)
+	benches := mustPrepare(t, smallConfig())
+	cells, err := Sweep(context.Background(), benches, 4,
+		[]string{"base", "optimized"}, []string{"streams"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(cells) != 2 {
 		t.Fatalf("sweep returned %d cells", len(cells))
 	}
@@ -48,9 +73,72 @@ func TestSweepAndHarmonic(t *testing.T) {
 	}
 }
 
+// TestSweepUnknownEngine: a bad engine name is an error from Sweep, not a
+// panic inside a worker goroutine.
+func TestSweepUnknownEngine(t *testing.T) {
+	benches := mustPrepare(t, smallConfig())
+	_, err := Sweep(context.Background(), benches, 4,
+		[]string{"base"}, []string{"warp-drive"}, true)
+	if err == nil {
+		t.Fatal("Sweep with unknown engine did not error")
+	}
+	if !strings.Contains(err.Error(), "warp-drive") {
+		t.Errorf("error does not identify the failing job: %v", err)
+	}
+}
+
+// TestSweepCancellation: cancelling mid-sweep returns the cells completed
+// so far with ctx.Err, and the worker pool leaks no goroutines.
+func TestSweepCancellation(t *testing.T) {
+	c := smallConfig()
+	c.TraceInsts = 400_000
+	benches := mustPrepare(t, c)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after a short head start so some jobs complete and some are
+	// cut off mid-flight.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	cells, err := Sweep(ctx, benches, 8,
+		[]string{"base", "optimized"},
+		[]string{"ev8", "ftb", "streams", "tcache"}, true)
+	if err == nil {
+		t.Skip("sweep finished before cancellation; nothing to assert")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(cells) >= 8 {
+		t.Errorf("cancelled sweep returned all %d cells", len(cells))
+	}
+	for _, cell := range cells {
+		if cell.Result == nil {
+			t.Fatal("partial sweep returned an incomplete cell")
+		}
+	}
+
+	// Every worker must have joined: no goroutine leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before sweep, %d after", before, runtime.NumGoroutine())
+}
+
 func TestUnitSizesShape(t *testing.T) {
-	benches := Prepare(smallConfig())
-	u := UnitSizes(benches[0].Prog, benches[0].Opt, benches[0].Ref)
+	benches := mustPrepare(t, smallConfig())
+	src, err := benches[0].Session.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	u := UnitSizes(benches[0].Opt, src)
 	if u.BasicBlock <= 0 || u.Stream <= 0 || u.Trace <= 0 {
 		t.Fatalf("zero unit sizes: %+v", u)
 	}
@@ -75,9 +163,11 @@ func TestTable2Renders(t *testing.T) {
 }
 
 func TestTable1Renders(t *testing.T) {
-	benches := Prepare(smallConfig())
+	benches := mustPrepare(t, smallConfig())
 	var buf bytes.Buffer
-	Table1(&buf, benches)
+	if err := Table1(&buf, benches); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "stream") {
 		t.Fatalf("Table 1 output: %q", buf.String())
 	}

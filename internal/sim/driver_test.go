@@ -12,7 +12,7 @@ import (
 // fix-ups) are not counted as branch mispredictions.
 func TestDecodeRedirectsCountedSeparately(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
+	r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams"})
 	if r.Misfetches == 0 {
 		t.Skip("no misfetches in this configuration")
 	}
@@ -28,7 +28,7 @@ func TestEnginesSeeSameArchitecture(t *testing.T) {
 	b := loadBench(t, "175.vpr", 120_000)
 	var retired, branches []uint64
 	for _, kind := range paperEngines() {
-		r := Run(b.opt, b.tr, Config{Width: 8, Engine: kind})
+		r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: kind})
 		retired = append(retired, r.Retired)
 		branches = append(branches, r.Branches)
 	}
@@ -50,7 +50,7 @@ func TestEnginesSeeSameArchitecture(t *testing.T) {
 // the minimum needed for retired instructions alone.
 func TestWrongPathPollutesICache(t *testing.T) {
 	b := loadBench(t, "300.twolf", 150_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "ev8"})
+	r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "ev8"})
 	if r.Mispredicted == 0 {
 		t.Skip("no mispredictions")
 	}
@@ -63,8 +63,8 @@ func TestWrongPathPollutesICache(t *testing.T) {
 // TestBaseVsOptimizedBothComplete runs both layouts end to end.
 func TestBaseVsOptimizedBothComplete(t *testing.T) {
 	b := loadBench(t, "176.gcc", 120_000)
-	rb := Run(b.lay, b.tr, Config{Width: 8, Engine: "streams"})
-	ro := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
+	rb := Run(b.lay, b.tr.Source(), Config{Width: 8, Engine: "streams"})
+	ro := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams"})
 	if rb.Retired == 0 || ro.Retired == 0 {
 		t.Fatal("a layout failed to complete")
 	}
@@ -85,7 +85,7 @@ func TestNarrowPipesCloseTogether(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
 	var ipcs []float64
 	for _, kind := range paperEngines() {
-		r := Run(b.opt, b.tr, Config{Width: 2, Engine: kind})
+		r := Run(b.opt, b.tr.Source(), Config{Width: 2, Engine: kind})
 		ipcs = append(ipcs, r.IPC)
 	}
 	lo, hi := ipcs[0], ipcs[0]
@@ -108,13 +108,13 @@ func TestNarrowPipesCloseTogether(t *testing.T) {
 // minuscule (degenerating to sequential fetch + decode redirects).
 func TestStreamEngineBeatsNoPredictor(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	full := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
+	full := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams"})
 	sc := frontend.DefaultStreamConfig()
 	sc.Predictor.FirstEntries = 8
 	sc.Predictor.FirstWays = 2
 	sc.Predictor.SecondEntries = 8
 	sc.Predictor.SecondWays = 2
-	small := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams", EngineOptions: sc})
+	small := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams", EngineOptions: sc})
 	t.Logf("full tables IPC=%.3f, 8-entry tables IPC=%.3f", full.IPC, small.IPC)
 	if full.IPC <= small.IPC {
 		t.Errorf("full predictor (%.3f) not better than crippled (%.3f)", full.IPC, small.IPC)
@@ -125,7 +125,7 @@ func TestStreamEngineBeatsNoPredictor(t *testing.T) {
 // total.
 func TestMispredictByTypeConsistency(t *testing.T) {
 	b := loadBench(t, "253.perlbmk", 120_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "tcache"})
+	r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "tcache"})
 	var sum uint64
 	for _, v := range r.MispredByType {
 		sum += v
@@ -148,7 +148,7 @@ func TestDualBankOption(t *testing.T) {
 		c := Config{Width: 8, Engine: "streams", EngineOptions: sc}
 		c.Hier = cache.DefaultHierarchy(8)
 		c.Hier.ICache.LineBytes = 8 * 4 // 1x width
-		return Run(b.opt, b.tr, c)
+		return Run(b.opt, b.tr.Source(), c)
 	}
 	single := mk(1)
 	dual := mk(2)

@@ -133,27 +133,45 @@ func (r Result) String() string {
 }
 
 // dynSupply lazily expands the block trace into dynamic instructions under
-// the layout.
+// the layout. It pulls blocks from a trace.Source with one block of
+// lookahead (expansion needs the dynamically following block), so memory is
+// a single block's worth of instructions regardless of trace length.
 type dynSupply struct {
-	lay    *layout.Layout
-	blocks []cfg.BlockID
-	bi     int
-	buf    []layout.DynInst
-	pos    int
+	lay      *layout.Layout
+	src      trace.Source
+	primed   bool
+	cur      cfg.BlockID
+	haveCur  bool
+	next     cfg.BlockID
+	haveNext bool
+	buf      []layout.DynInst
+	pos      int
 }
 
 func (d *dynSupply) peek() (layout.DynInst, bool) {
 	for d.pos >= len(d.buf) {
-		if d.bi >= len(d.blocks) {
+		if !d.primed {
+			d.primed = true
+			d.cur, d.haveCur = d.src.Next()
+			if d.haveCur {
+				d.next, d.haveNext = d.src.Next()
+			}
+		}
+		if !d.haveCur {
 			return layout.DynInst{}, false
 		}
-		next := cfg.NoBlock
-		if d.bi+1 < len(d.blocks) {
-			next = d.blocks[d.bi+1]
+		nb := cfg.NoBlock
+		if d.haveNext {
+			nb = d.next
 		}
-		d.buf = d.lay.AppendDyn(d.buf[:0], d.blocks[d.bi], next)
+		d.buf = d.lay.AppendDyn(d.buf[:0], d.cur, nb)
 		d.pos = 0
-		d.bi++
+		d.cur, d.haveCur = d.next, d.haveNext
+		if d.haveCur {
+			d.next, d.haveNext = d.src.Next()
+		} else {
+			d.haveNext = false
+		}
 	}
 	return d.buf[d.pos], true
 }
@@ -169,10 +187,12 @@ type Processor struct {
 	supply dynSupply
 }
 
-// New builds a processor simulating tr (generated from prog) under lay. The
-// engine is resolved through the frontend registry; unknown names and bad
-// engine options are reported as errors.
-func New(lay *layout.Layout, tr *trace.Trace, cfg Config) (*Processor, error) {
+// New builds a processor simulating the block sequence supplied by src
+// (generated from lay's program) under lay. The source is consumed
+// incrementally — trace memory is independent of run length — and is not
+// closed by the processor. The engine is resolved through the frontend
+// registry; unknown names and bad engine options are reported as errors.
+func New(lay *layout.Layout, src trace.Source, cfg Config) (*Processor, error) {
 	cfg = cfg.WithDefaults()
 	hier := cache.NewHierarchy(cfg.Hier)
 	env := frontend.BuildEnv{
@@ -190,7 +210,7 @@ func New(lay *layout.Layout, tr *trace.Trace, cfg Config) (*Processor, error) {
 		lay:    lay,
 		hier:   hier,
 		engine: eng,
-		supply: dynSupply{lay: lay, blocks: tr.Blocks},
+		supply: dynSupply{lay: lay, src: src},
 	}, nil
 }
 
@@ -488,8 +508,8 @@ var debugSquash func(e pipeline.Entry)
 
 // Run is a convenience: build and run one simulation. It panics on an
 // unresolvable engine configuration (callers wanting an error use New).
-func Run(lay *layout.Layout, tr *trace.Trace, cfg Config) Result {
-	p, err := New(lay, tr, cfg)
+func Run(lay *layout.Layout, src trace.Source, cfg Config) Result {
+	p, err := New(lay, src, cfg)
 	if err != nil {
 		panic(err)
 	}

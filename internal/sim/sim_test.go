@@ -39,7 +39,7 @@ func TestRunAllEnginesComplete(t *testing.T) {
 	for _, kind := range paperEngines() {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
-			r := Run(b.opt, b.tr, Config{Width: 8, Engine: kind})
+			r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: kind})
 			t.Logf("%v", r)
 			if r.Retired == 0 {
 				t.Fatal("retired no instructions")
@@ -62,8 +62,8 @@ func TestRunAllEnginesComplete(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	b := loadBench(t, "175.vpr", 100_000)
-	r1 := Run(b.opt, b.tr, Config{Width: 4, Engine: "streams"})
-	r2 := Run(b.opt, b.tr, Config{Width: 4, Engine: "streams"})
+	r1 := Run(b.opt, b.tr.Source(), Config{Width: 4, Engine: "streams"})
+	r2 := Run(b.opt, b.tr.Source(), Config{Width: 4, Engine: "streams"})
 	if r1 != r2 {
 		t.Fatalf("results differ between identical runs:\n%+v\n%+v", r1, r2)
 	}
@@ -71,8 +71,8 @@ func TestRunDeterministic(t *testing.T) {
 
 func TestWiderPipeFasterOrEqual(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	r2 := Run(b.opt, b.tr, Config{Width: 2, Engine: "streams"})
-	r8 := Run(b.opt, b.tr, Config{Width: 8, Engine: "streams"})
+	r2 := Run(b.opt, b.tr.Source(), Config{Width: 2, Engine: "streams"})
+	r8 := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams"})
 	t.Logf("2-wide IPC %.3f, 8-wide IPC %.3f", r2.IPC, r8.IPC)
 	if r8.IPC < r2.IPC {
 		t.Errorf("8-wide IPC %.3f below 2-wide %.3f", r8.IPC, r2.IPC)
@@ -81,7 +81,7 @@ func TestWiderPipeFasterOrEqual(t *testing.T) {
 
 func TestMaxInstsLimits(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
-	r := Run(b.opt, b.tr, Config{Width: 8, Engine: "ev8", MaxInsts: 20_000})
+	r := Run(b.opt, b.tr.Source(), Config{Width: 8, Engine: "ev8", MaxInsts: 20_000})
 	if r.Retired < 20_000 || r.Retired > 20_000+64 {
 		t.Errorf("retired %d, want about 20000", r.Retired)
 	}
@@ -91,10 +91,10 @@ func TestMaxInstsLimits(t *testing.T) {
 // errors instead of engine-kind panics.
 func TestNewUnknownEngine(t *testing.T) {
 	b := loadBench(t, "164.gzip", 50_000)
-	if _, err := New(b.opt, b.tr, Config{Width: 8, Engine: "bogus"}); err == nil {
+	if _, err := New(b.opt, b.tr.Source(), Config{Width: 8, Engine: "bogus"}); err == nil {
 		t.Fatal("New with unknown engine did not error")
 	}
-	if _, err := New(b.opt, b.tr, Config{Width: 8, Engine: "streams",
+	if _, err := New(b.opt, b.tr.Source(), Config{Width: 8, Engine: "streams",
 		EngineOptions: frontend.EV8Config{}}); err == nil {
 		t.Fatal("New with mistyped engine options did not error")
 	}
@@ -105,7 +105,7 @@ func TestNewUnknownEngine(t *testing.T) {
 func TestOnProgressAborts(t *testing.T) {
 	b := loadBench(t, "164.gzip", 150_000)
 	var calls int
-	r := Run(b.opt, b.tr, Config{
+	r := Run(b.opt, b.tr.Source(), Config{
 		Width:            8,
 		Engine:           "streams",
 		ProgressInterval: 10_000,

@@ -1,71 +1,184 @@
 // Binary trace file format. Traces can be written once and replayed by many
-// simulations, mirroring the paper's trace-driven methodology. The format is
-// a magic header followed by zig-zag varint deltas of block IDs, which
-// compresses loopy traces well.
+// simulations, mirroring the paper's trace-driven methodology. Both codecs
+// stream: the Writer encodes blocks as they arrive and the FileSource
+// decodes incrementally, so traces far larger than RAM can be written and
+// replayed in constant memory.
+//
+// The current format (STRMTRC2) is a magic header, the benchmark name, then
+// chunks of zig-zag varint deltas of block IDs (which compresses loopy
+// traces well), a zero-length terminator chunk, and a footer carrying the
+// total instruction and block counts — a trailer rather than a header
+// because a streaming writer only knows the totals at the end. The previous
+// count-prefixed format (STRMTRC1) is still read.
 package trace
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"streamfetch/internal/cfg"
 )
 
 const (
-	magic   = "STRMTRC1"
+	magicV1 = "STRMTRC1"
+	magicV2 = "STRMTRC2"
 	maxName = 1 << 10
+	// chunkBlocks is the writer's encoding granularity. Chunks exist so a
+	// reader can tell block records from the footer without a count up
+	// front; their size only trades header overhead (1-2 bytes per chunk)
+	// against buffering.
+	chunkBlocks = 4096
 )
 
-// Write serializes t to w.
-func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
+// Writer streams a block sequence into the binary trace format. Blocks are
+// encoded as they are appended; nothing is buffered beyond the current
+// chunk, so arbitrarily long traces are written in constant memory. The
+// caller must Finish to emit the footer; a trace without one is detected as
+// truncated on read.
+type Writer struct {
+	bw       *bufio.Writer
+	chunk    []cfg.BlockID
+	prev     int64
+	blocks   uint64
+	finished bool
+}
+
+// NewWriter writes the header for a trace named name and returns the
+// streaming encoder.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	if len(name) > maxName {
+		return nil, fmt.Errorf("trace: name too long (%d bytes)", len(name))
 	}
-	if len(t.Name) > maxName {
-		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := tw.bw.WriteString(magicV2); err != nil {
+		return nil, err
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	writeUvarint := func(v uint64) error {
-		n := binary.PutUvarint(hdr[:], v)
-		_, err := bw.Write(hdr[:n])
-		return err
+	if err := tw.writeUvarint(uint64(len(name))); err != nil {
+		return nil, err
 	}
-	if err := writeUvarint(uint64(len(t.Name))); err != nil {
-		return err
+	if _, err := tw.bw.WriteString(name); err != nil {
+		return nil, err
 	}
-	if _, err := bw.WriteString(t.Name); err != nil {
-		return err
-	}
-	if err := writeUvarint(t.Insts); err != nil {
-		return err
-	}
-	if err := writeUvarint(uint64(len(t.Blocks))); err != nil {
-		return err
-	}
-	prev := int64(0)
+	return tw, nil
+}
+
+func (w *Writer) writeUvarint(v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
-	for _, id := range t.Blocks {
-		delta := int64(id) - prev
-		prev = int64(id)
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.bw.Write(buf[:n])
+	return err
+}
+
+// Append adds one block to the trace.
+func (w *Writer) Append(id cfg.BlockID) error {
+	if w.finished {
+		return errors.New("trace: Append after Finish")
+	}
+	w.chunk = append(w.chunk, id)
+	if len(w.chunk) >= chunkBlocks {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks appended so far.
+func (w *Writer) Blocks() uint64 { return w.blocks + uint64(len(w.chunk)) }
+
+func (w *Writer) flushChunk() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	if err := w.writeUvarint(uint64(len(w.chunk))); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, id := range w.chunk {
+		delta := int64(id) - w.prev
+		w.prev = int64(id)
 		n := binary.PutVarint(buf[:], delta)
-		if _, err := bw.Write(buf[:n]); err != nil {
+		if _, err := w.bw.Write(buf[:n]); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	w.blocks += uint64(len(w.chunk))
+	w.chunk = w.chunk[:0]
+	return nil
 }
 
-// Read deserializes a trace written by Write.
-func Read(r io.Reader) (*Trace, error) {
+// Finish flushes the remaining blocks and writes the terminator and footer;
+// totalInsts is the trace's CFG-level instruction count. The Writer is
+// unusable afterwards.
+func (w *Writer) Finish(totalInsts uint64) error {
+	if w.finished {
+		return errors.New("trace: Finish called twice")
+	}
+	w.finished = true
+	if err := w.flushChunk(); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(0); err != nil { // terminator chunk
+		return err
+	}
+	if err := w.writeUvarint(totalInsts); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(w.blocks); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// Write serializes t to w in the current format.
+func (t *Trace) Write(w io.Writer) error {
+	tw, err := NewWriter(w, t.Name)
+	if err != nil {
+		return err
+	}
+	for _, id := range t.Blocks {
+		if err := tw.Append(id); err != nil {
+			return err
+		}
+	}
+	return tw.Finish(t.Insts)
+}
+
+// FileSource incrementally decodes a binary trace stream (either format).
+// It implements Source; decode errors (including truncation) surface from
+// Err and Close once Next returns false.
+type FileSource struct {
+	br   *bufio.Reader
+	file io.Closer // underlying file when opened via Open
+
+	name string
+	prev int64
+	read uint64 // blocks delivered so far
+	done bool
+	err  error
+
+	v1        bool
+	remaining uint64 // v1: blocks left in the trace; v2: in the current chunk
+	insts     uint64 // v1: from the header; v2: from the footer once read
+	exact     bool
+}
+
+// NewReader reads the trace header from r and returns a streaming source
+// over its blocks.
+func NewReader(r io.Reader) (*FileSource, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	got := make([]byte, len(magic))
+	got := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(got) != magic {
+	s := &FileSource{br: br}
+	switch string(got) {
+	case magicV2:
+	case magicV1:
+		s.v1 = true
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", got)
 	}
 	nameLen, err := binary.ReadUvarint(br)
@@ -79,34 +192,125 @@ func Read(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
-	insts, err := binary.ReadUvarint(br)
+	s.name = string(name)
+	if s.v1 {
+		// The old format carries both totals up front.
+		if s.insts, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("trace: reading instruction count: %w", err)
+		}
+		if s.remaining, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("trace: reading block count: %w", err)
+		}
+		const maxBlocks = 1 << 40
+		if s.remaining > maxBlocks {
+			return nil, fmt.Errorf("trace: block count %d exceeds limit", s.remaining)
+		}
+		s.exact = true
+	}
+	return s, nil
+}
+
+// Open opens a trace file as a streaming source; Close closes the file.
+func Open(path string) (*FileSource, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading instruction count: %w", err)
+		return nil, err
 	}
-	count, err := binary.ReadUvarint(br)
+	s, err := NewReader(f)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading block count: %w", err)
+		f.Close()
+		return nil, err
 	}
-	const maxBlocks = 1 << 32
-	if count > maxBlocks {
-		return nil, fmt.Errorf("trace: block count %d exceeds limit", count)
+	s.file = f
+	return s, nil
+}
+
+// Next decodes and returns the next block of the trace.
+func (s *FileSource) Next() (cfg.BlockID, bool) {
+	if s.done {
+		return cfg.NoBlock, false
 	}
-	t := &Trace{
-		Name:   string(name),
-		Insts:  insts,
-		Blocks: make([]cfg.BlockID, 0, count),
-	}
-	prev := int64(0)
-	for i := uint64(0); i < count; i++ {
-		delta, err := binary.ReadVarint(br)
+	if s.remaining == 0 {
+		if s.v1 {
+			s.done = true
+			return cfg.NoBlock, false
+		}
+		n, err := binary.ReadUvarint(s.br)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading block %d: %w", i, err)
+			return s.fail(fmt.Errorf("trace: reading chunk header after block %d: %w", s.read, err))
 		}
-		prev += delta
-		if prev < 0 {
-			return nil, fmt.Errorf("trace: negative block ID at record %d", i)
+		if n == 0 { // terminator: read and validate the footer
+			s.done = true
+			if s.insts, err = binary.ReadUvarint(s.br); err != nil {
+				s.err = fmt.Errorf("trace: reading instruction count: %w", err)
+				return cfg.NoBlock, false
+			}
+			count, err := binary.ReadUvarint(s.br)
+			if err != nil {
+				s.err = fmt.Errorf("trace: reading block count: %w", err)
+				return cfg.NoBlock, false
+			}
+			if count != s.read {
+				s.err = fmt.Errorf("trace: footer says %d blocks, decoded %d", count, s.read)
+				return cfg.NoBlock, false
+			}
+			s.exact = true
+			return cfg.NoBlock, false
 		}
-		t.Blocks = append(t.Blocks, cfg.BlockID(prev))
+		s.remaining = n
 	}
-	return t, nil
+	delta, err := binary.ReadVarint(s.br)
+	if err != nil {
+		return s.fail(fmt.Errorf("trace: reading block %d: %w", s.read, err))
+	}
+	s.prev += delta
+	if s.prev < 0 {
+		return s.fail(fmt.Errorf("trace: negative block ID at record %d", s.read))
+	}
+	s.remaining--
+	s.read++
+	return cfg.BlockID(s.prev), true
+}
+
+func (s *FileSource) fail(err error) (cfg.BlockID, bool) {
+	s.done = true
+	s.err = err
+	return cfg.NoBlock, false
+}
+
+// Name returns the benchmark name from the header.
+func (s *FileSource) Name() string { return s.name }
+
+// TotalInsts returns the trace's instruction count: exact up front for the
+// old header-bearing format, and exact once the footer has been read for
+// the current one (0 before that — the on-disk trace carries no running
+// count).
+func (s *FileSource) TotalInsts() (uint64, bool) { return s.insts, s.exact }
+
+// Err returns the first decode error encountered (nil on a clean stream).
+// A truncated trace — one whose footer is missing or inconsistent — is an
+// error, not a short trace.
+func (s *FileSource) Err() error { return s.err }
+
+// Close releases the underlying file (when opened via Open) and returns the
+// sticky decode error, if any.
+func (s *FileSource) Close() error {
+	if s.file != nil {
+		cerr := s.file.Close()
+		s.file = nil
+		if s.err == nil {
+			s.err = cerr
+		}
+	}
+	return s.err
+}
+
+// Read deserializes a trace written by Write, materializing it in memory.
+// Callers that only iterate should use NewReader (or Open) instead.
+func Read(r io.Reader) (*Trace, error) {
+	s, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return Drain(s)
 }

@@ -1,0 +1,158 @@
+// Pull-based trace supply. A Source delivers the dynamic basic-block
+// sequence one block at a time, so consumers (the simulator, codecs,
+// analyses) run in memory independent of trace length: a 100M-instruction
+// run needs no materialized block slice anywhere on the trace path.
+//
+// Three implementations cover the delivery modes:
+//
+//   - GenSource produces blocks on the fly from the seeded CFG walk
+//     (NewGenSource); nothing is ever materialized.
+//   - FileSource incrementally decodes the binary trace format (Open,
+//     NewReader in file.go), so saved traces far larger than RAM replay.
+//   - SliceSource wraps an existing []cfg.BlockID (NewSliceSource, or
+//     Trace.Source) for tests and profiles that already hold a trace.
+package trace
+
+import "streamfetch/internal/cfg"
+
+// Source supplies a dynamic basic-block sequence incrementally. Sources are
+// single-use forward iterators: once exhausted they stay exhausted, and a
+// fresh source is needed to walk the trace again. Sources are not safe for
+// concurrent use.
+type Source interface {
+	// Next returns the next executed block; ok is false once the trace is
+	// exhausted.
+	Next() (id cfg.BlockID, ok bool)
+	// Name returns the benchmark name the trace records.
+	Name() string
+	// TotalInsts returns the trace's CFG-level instruction count and
+	// whether it is exact. Sources that know their full length up front
+	// (in-memory traces, file headers) report it immediately; streamed
+	// sources report a running or unknown count (exact only once the
+	// stream is exhausted, and 0 for formats that carry no running
+	// count).
+	TotalInsts() (n uint64, exact bool)
+	// Close releases any resources held by the source and reports any
+	// decode error encountered while streaming. Close on generator- and
+	// slice-backed sources is a no-op.
+	Close() error
+}
+
+// GenSource produces the block sequence on the fly from a seeded CFG walk,
+// with no slice ever built. It emits exactly the sequence Generate would
+// materialize for the same GenConfig.
+type GenSource struct {
+	g    *Generator
+	name string
+	max  uint64
+	done bool
+}
+
+// NewGenSource returns a source that walks p from its entry under gc. As
+// with Generate, emission stops once gc.MaxInsts CFG-level instructions
+// have been emitted (the block crossing the threshold is included) or the
+// program terminates; MaxInsts of 0 yields an empty source.
+func NewGenSource(p *cfg.Program, gc GenConfig) *GenSource {
+	return &GenSource{
+		g:    NewGenerator(p, gc.Seed, gc.Profile),
+		name: p.Name,
+		max:  gc.MaxInsts,
+	}
+}
+
+// Next returns the next executed block.
+func (s *GenSource) Next() (cfg.BlockID, bool) {
+	if s.done || s.g.Insts() >= s.max {
+		s.done = true
+		return cfg.NoBlock, false
+	}
+	id, ok := s.g.Next()
+	if !ok {
+		s.done = true
+	}
+	return id, ok
+}
+
+// Name returns the program name.
+func (s *GenSource) Name() string { return s.name }
+
+// TotalInsts returns the instructions emitted so far; the count is exact
+// once the source is exhausted.
+func (s *GenSource) TotalInsts() (uint64, bool) { return s.g.Insts(), s.done }
+
+// Close is a no-op.
+func (s *GenSource) Close() error { return nil }
+
+// SliceSource iterates a materialized block sequence.
+type SliceSource struct {
+	name   string
+	blocks []cfg.BlockID
+	insts  uint64
+	i      int
+}
+
+// NewSliceSource wraps an existing block slice as a source. The slice is
+// not copied; insts is the sequence's total CFG-level instruction count.
+func NewSliceSource(name string, blocks []cfg.BlockID, insts uint64) *SliceSource {
+	return &SliceSource{name: name, blocks: blocks, insts: insts}
+}
+
+// Source returns a fresh source over the materialized trace.
+func (t *Trace) Source() *SliceSource {
+	return NewSliceSource(t.Name, t.Blocks, t.Insts)
+}
+
+// Next returns the next block of the slice.
+func (s *SliceSource) Next() (cfg.BlockID, bool) {
+	if s.i >= len(s.blocks) {
+		return cfg.NoBlock, false
+	}
+	id := s.blocks[s.i]
+	s.i++
+	return id, true
+}
+
+// Name returns the benchmark name.
+func (s *SliceSource) Name() string { return s.name }
+
+// TotalInsts returns the exact trace total.
+func (s *SliceSource) TotalInsts() (uint64, bool) { return s.insts, true }
+
+// Close is a no-op.
+func (s *SliceSource) Close() error { return nil }
+
+// ForEachPair streams src, invoking f for every block together with the
+// dynamically following block (cfg.NoBlock for the last) — the lookahead
+// that layout expansion needs. It consumes the source but does not close
+// it.
+func ForEachPair(src Source, f func(cur, next cfg.BlockID)) {
+	cur, ok := src.Next()
+	for ok {
+		next, nextOK := src.Next()
+		nb := cfg.NoBlock
+		if nextOK {
+			nb = next
+		}
+		f(cur, nb)
+		cur, ok = next, nextOK
+	}
+}
+
+// Drain consumes src to exhaustion and materializes it as a Trace. It is
+// the bridge back from the streaming world for analyses that genuinely
+// need random access; memory is proportional to the trace length.
+func Drain(src Source) (*Trace, error) {
+	t := &Trace{Name: src.Name()}
+	for {
+		id, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.Blocks = append(t.Blocks, id)
+	}
+	if err := src.Close(); err != nil {
+		return nil, err
+	}
+	t.Insts, _ = src.TotalInsts()
+	return t, nil
+}

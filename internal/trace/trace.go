@@ -8,6 +8,12 @@
 // it to concrete instruction addresses under a given code layout. The
 // package also implements a compact binary on-disk trace format, standing in
 // for the paper's 300M-instruction SPEC2000 trace files.
+//
+// Traces are delivered through the pull-based Source interface (source.go):
+// generated on the fly, streamed from disk, or wrapped around an in-memory
+// slice. Consumers that iterate a Source run in memory independent of trace
+// length, which is what makes paper-scale (100M+ instruction) runs
+// practical.
 package trace
 
 import (
@@ -198,22 +204,25 @@ func (g *Generator) pickEdge(b *cfg.Block) int {
 	return len(b.Succs) - 1
 }
 
-// Generate runs the program from its entry and records a trace.
+// Generate runs the program from its entry and materializes the trace in
+// memory. It emits exactly the sequence NewGenSource streams for the same
+// config; callers that only iterate should prefer the source, whose memory
+// use is independent of MaxInsts.
 func Generate(p *cfg.Program, gc GenConfig) *Trace {
-	g := NewGenerator(p, gc.Seed, gc.Profile)
+	src := NewGenSource(p, gc)
 	est := int(gc.MaxInsts / 5)
 	if est < 16 {
 		est = 16
 	}
 	t := &Trace{Name: p.Name, Blocks: make([]cfg.BlockID, 0, est)}
-	for g.insts < gc.MaxInsts {
-		id, ok := g.Next()
+	for {
+		id, ok := src.Next()
 		if !ok {
 			break
 		}
 		t.Blocks = append(t.Blocks, id)
 	}
-	t.Insts = g.insts
+	t.Insts, _ = src.TotalInsts()
 	return t
 }
 

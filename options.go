@@ -1,5 +1,7 @@
 package streamfetch
 
+import "streamfetch/internal/trace"
+
 // Option configures a Session, either at New or per run through RunWith.
 type Option func(*Session)
 
@@ -64,9 +66,18 @@ func WithMaxInstructions(n uint64) Option {
 }
 
 // WithTraceFile replays a saved binary trace file (see cmd/tracegen)
-// instead of generating a trace from the seed.
+// instead of generating a trace from the seed. The file is decoded
+// incrementally on each run, so traces far larger than RAM replay in
+// constant memory.
 func WithTraceFile(path string) Option {
 	return func(s *Session) { s.traceFile = path }
+}
+
+// WithTrace replays an already-materialized in-memory trace instead of
+// generating one from the seed (useful for tests and profiles that hold a
+// trace). It takes precedence over WithTraceFile.
+func WithTrace(tr *trace.Trace) Option {
+	return func(s *Session) { s.traceData = tr }
 }
 
 // WithICacheLineBytes overrides the L1 instruction cache line size,

@@ -9,7 +9,6 @@ import (
 	"streamfetch/internal/isa"
 	"streamfetch/internal/layout"
 	"streamfetch/internal/sim"
-	"streamfetch/internal/trace"
 )
 
 // CacheReport summarizes one cache's activity.
@@ -63,15 +62,18 @@ type Report struct {
 	L2     CacheReport `json:"l2"`
 }
 
-// newReport lifts a sim.Result into the public report shape.
-func newReport(benchmark string, lay *layout.Layout, tr *trace.Trace, seed uint64, res sim.Result) *Report {
+// newReport lifts a sim.Result into the public report shape. traceInsts is
+// the trace's total instruction count when the source knew it (materialized
+// traces, fully-drained generators and file footers); for a run cut short
+// mid-stream it is the count supplied so far, or 0 when unknown.
+func newReport(benchmark string, lay *layout.Layout, traceInsts uint64, seed uint64, res sim.Result) *Report {
 	rep := &Report{
 		Benchmark:  benchmark,
 		Engine:     res.Engine,
 		Layout:     lay.Name,
 		Width:      res.Width,
 		Seed:       seed,
-		TraceInsts: tr.Insts,
+		TraceInsts: traceInsts,
 		CodeBytes:  lay.CodeSize(),
 		Aborted:    res.Aborted,
 

@@ -13,8 +13,8 @@
 //		streamfetch.WithSeed(99),
 //	).Run(ctx)
 //
-// Prepared artifacts (program, layouts, trace) are cached in the session,
-// so RunWith can sweep engines, widths and layouts cheaply:
+// Prepared artifacts (program, layouts) are cached in the session, so
+// RunWith can sweep engines, widths and layouts cheaply:
 //
 //	s := streamfetch.New("176.gcc", streamfetch.WithOptimizedLayout())
 //	for _, e := range streamfetch.Engines() {
@@ -22,19 +22,24 @@
 //		...
 //	}
 //
+// Traces are streamed, never materialized: each run pulls its dynamic block
+// sequence from a fresh trace.Source — produced on the fly from the seeded
+// CFG walk, or decoded incrementally from a trace file — so trace memory is
+// independent of run length and 100M+-instruction sessions are practical.
+// Determinism is preserved: the same seed yields the same source sequence,
+// run after run.
+//
 // New fetch engines plug in through the registry in internal/frontend:
 // Register a factory under a name and every sweep, table and cmd picks it
 // up by that name.
 package streamfetch
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
 	"strings"
 	"sync"
-
-	"context"
 
 	"streamfetch/internal/cache"
 	"streamfetch/internal/cfg"
@@ -79,15 +84,21 @@ type Progress struct {
 	Engine    string
 	Layout    string
 	Width     int
-	// Retired counts correct-path instructions committed so far; Total
-	// is the run's target (trace length, or MaxInstructions when lower).
+	// Retired counts correct-path instructions committed so far. Total is
+	// the run's instruction target when one is known up front: the trace
+	// total for materialized or header-bearing replays, the configured
+	// generation budget for seeded runs, or MaxInstructions when lower.
+	// Total is 0 when the length is unknown until EOF (a streamed trace
+	// file with no header total).
 	Retired uint64
 	Total   uint64
 	Cycles  uint64
 }
 
 // prepared caches the expensive artifacts a session builds once and reuses
-// across runs. The optimized layout is built lazily on first use.
+// across runs. The optimized layout and the materialized reference trace
+// (Trace, only) are built lazily on first use; runs themselves stream and
+// never populate ref.
 type prepared struct {
 	mu   sync.Mutex
 	prog *cfg.Program
@@ -98,8 +109,7 @@ type prepared struct {
 
 // Session is one configured simulation pipeline. Options passed to New fix
 // its defaults; RunWith overrides them per run while sharing the prepared
-// workload, layouts and trace. A Session is safe for concurrent RunWith
-// calls.
+// workload and layouts. A Session is safe for concurrent RunWith calls.
 type Session struct {
 	benchmark  string
 	width      int
@@ -113,6 +123,7 @@ type Session struct {
 	maxInsts   uint64
 	lineBytes  int
 	traceFile  string
+	traceData  *trace.Trace
 
 	progressEvery uint64
 	onProgress    func(Progress)
@@ -124,12 +135,13 @@ type Session struct {
 // RunWith override changes one, the override runs with fresh preparation.
 type prepKey struct {
 	benchmark, traceFile string
+	traceData            *trace.Trace
 	seed, trainSeed      uint64
 	insts, trainInsts    uint64
 }
 
 func (s *Session) key() prepKey {
-	return prepKey{s.benchmark, s.traceFile, s.seed, s.trainSeed, s.insts, s.trainInsts}
+	return prepKey{s.benchmark, s.traceFile, s.traceData, s.seed, s.trainSeed, s.insts, s.trainInsts}
 }
 
 // New builds a session for one benchmark with the paper's defaults: 8-wide
@@ -163,45 +175,24 @@ func (s *Session) validate() error {
 	return checkLayout(s.layoutName)
 }
 
-// ensure prepares (or reuses) the program, the requested layout and — when
-// withTrace is set — the reference trace (generating it is as expensive as a
-// run, so artifact accessors skip it).
-func (s *Session) ensure(ctx context.Context, layoutName string, withTrace bool) (*layout.Layout, *trace.Trace, error) {
+// ensure prepares (or reuses) the program and the requested layout.
+func (s *Session) ensure(ctx context.Context, layoutName string) (*layout.Layout, error) {
 	p := s.prep
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.prog == nil {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		params, err := workload.ByName(s.benchmark)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		p.prog = workload.Generate(params)
 		p.base = layout.Baseline(p.prog)
 	}
-	if withTrace && p.ref == nil {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		if s.traceFile != "" {
-			f, err := os.Open(s.traceFile)
-			if err != nil {
-				return nil, nil, err
-			}
-			tr, err := trace.Read(f)
-			f.Close()
-			if err != nil {
-				return nil, nil, fmt.Errorf("streamfetch: reading trace %s: %w", s.traceFile, err)
-			}
-			p.ref = tr
-		} else {
-			p.ref = trace.Generate(p.prog, trace.GenConfig{Seed: s.seed, MaxInsts: s.insts})
-		}
-	}
 	if err := checkLayout(layoutName); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var lay *layout.Layout
 	switch layoutName {
@@ -210,7 +201,7 @@ func (s *Session) ensure(ctx context.Context, layoutName string, withTrace bool)
 	case "optimized":
 		if p.opt == nil {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			train := s.trainInsts
 			if train == 0 {
@@ -221,12 +212,31 @@ func (s *Session) ensure(ctx context.Context, layoutName string, withTrace bool)
 		}
 		lay = p.opt
 	}
-	return lay, p.ref, nil
+	return lay, nil
 }
 
-// Prepare builds the session's artifacts (program, configured layout,
-// trace) without running a simulation. Run calls it implicitly; sweeps call
-// it up front to separate preparation cost from simulation cost.
+// newSource builds a fresh trace source for one run: the in-memory trace
+// installed by WithTrace, an incremental decode of the WithTraceFile file,
+// or (the default) blocks produced on the fly from the seeded CFG walk.
+// prog must be the session's prepared program.
+func (s *Session) newSource(prog *cfg.Program) (trace.Source, error) {
+	switch {
+	case s.traceData != nil:
+		return s.traceData.Source(), nil
+	case s.traceFile != "":
+		src, err := trace.Open(s.traceFile)
+		if err != nil {
+			return nil, fmt.Errorf("streamfetch: opening trace %s: %w", s.traceFile, err)
+		}
+		return src, nil
+	default:
+		return trace.NewGenSource(prog, trace.GenConfig{Seed: s.seed, MaxInsts: s.insts}), nil
+	}
+}
+
+// Prepare builds the session's artifacts (program, configured layout)
+// without running a simulation. Run calls it implicitly; sweeps call it up
+// front to separate preparation cost from simulation cost.
 func (s *Session) Prepare(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -234,14 +244,14 @@ func (s *Session) Prepare(ctx context.Context) error {
 	if err := s.validate(); err != nil {
 		return err
 	}
-	_, _, err := s.ensure(ctx, s.layoutName, true)
+	_, err := s.ensure(ctx, s.layoutName)
 	return err
 }
 
 // Program returns the synthesized benchmark program, preparing it if
 // needed.
 func (s *Session) Program() (*cfg.Program, error) {
-	if _, _, err := s.ensure(context.Background(), "base", false); err != nil {
+	if _, err := s.ensure(context.Background(), "base"); err != nil {
 		return nil, err
 	}
 	return s.prep.prog, nil
@@ -250,14 +260,49 @@ func (s *Session) Program() (*cfg.Program, error) {
 // Layout returns the named code layout ("base" or "optimized"), preparing
 // it if needed.
 func (s *Session) Layout(name string) (*layout.Layout, error) {
-	lay, _, err := s.ensure(context.Background(), name, false)
-	return lay, err
+	return s.ensure(context.Background(), name)
 }
 
-// Trace returns the reference trace, generating (or reading) it if needed.
+// Source returns a fresh trace source positioned at the start of the
+// session's trace: the replayed file or in-memory trace when one is
+// configured, otherwise the seeded generator. Every call returns an
+// independent single-use source emitting the identical sequence, so
+// analyses can walk the trace repeatedly without materializing it; the
+// caller closes it.
+func (s *Session) Source() (trace.Source, error) {
+	if _, err := s.ensure(context.Background(), "base"); err != nil {
+		return nil, err
+	}
+	return s.newSource(s.prep.prog)
+}
+
+// Trace materializes the session's reference trace in memory, generating
+// (or reading) and caching it on first call. This is a convenience for
+// analyses that need random access; its memory is proportional to the
+// trace length, so paper-scale runs should iterate Source instead.
 func (s *Session) Trace() (*trace.Trace, error) {
-	_, tr, err := s.ensure(context.Background(), "base", true)
-	return tr, err
+	if s.traceData != nil {
+		// WithTrace already holds the materialized trace.
+		return s.traceData, nil
+	}
+	if _, err := s.ensure(context.Background(), "base"); err != nil {
+		return nil, err
+	}
+	p := s.prep
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ref == nil {
+		src, err := s.newSource(p.prog)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Drain(src)
+		if err != nil {
+			return nil, fmt.Errorf("streamfetch: reading trace: %w", err)
+		}
+		p.ref = tr
+	}
+	return p.ref, nil
 }
 
 // Benchmark returns the session's benchmark name.
@@ -292,10 +337,15 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	if err := run.validate(); err != nil {
 		return nil, err
 	}
-	lay, tr, err := run.ensure(ctx, run.layoutName, true)
+	lay, err := run.ensure(ctx, run.layoutName)
 	if err != nil {
 		return nil, err
 	}
+	src, err := run.newSource(run.prep.prog)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
 
 	cfg := sim.Config{
 		Width:            run.width,
@@ -308,8 +358,16 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 		cfg.Hier = cache.DefaultHierarchy(run.width)
 		cfg.Hier.ICache.LineBytes = run.lineBytes
 	}
-	total := tr.Insts
-	if run.maxInsts > 0 && run.maxInsts < total {
+	// The run target: exact when the source knows its length up front,
+	// the generation budget for seeded runs, 0 (unknown until EOF) for
+	// streamed replays.
+	total := uint64(0)
+	if n, exact := src.TotalInsts(); exact {
+		total = n
+	} else if run.traceFile == "" {
+		total = run.insts
+	}
+	if run.maxInsts > 0 && (total == 0 || run.maxInsts < total) {
 		total = run.maxInsts
 	}
 	cb := run.onProgress
@@ -331,18 +389,24 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 		return true
 	}
 
-	proc, err := sim.New(lay, tr, cfg)
+	proc, err := sim.New(lay, src, cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := proc.Run()
+	if err := src.Close(); err != nil {
+		// A decode error mid-stream looks like a short trace to the sim;
+		// surface it instead of reporting a silently truncated run.
+		return nil, fmt.Errorf("streamfetch: reading trace %s: %w", run.traceFile, err)
+	}
 	seed := run.seed
-	if run.traceFile != "" {
+	if run.traceFile != "" || run.traceData != nil {
 		// A replayed trace was not generated from the session seed;
 		// don't attribute it to one.
 		seed = 0
 	}
-	rep := newReport(run.benchmark, lay, tr, seed, res)
+	traceInsts, _ := src.TotalInsts()
+	rep := newReport(run.benchmark, lay, traceInsts, seed, res)
 	if res.Aborted {
 		if err := ctx.Err(); err != nil {
 			return rep, err

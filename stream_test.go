@@ -1,0 +1,137 @@
+package streamfetch
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamingSourceEquivalence: the same benchmark and seed must produce
+// byte-identical Report JSON whether the trace is generated on the fly,
+// replayed incrementally from a file, or replayed from a materialized
+// in-memory trace. (Seed attribution differs by construction — replays
+// aren't attributed to a seed — so it is normalized before comparing.)
+func TestStreamingSourceEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const insts = 80_000
+	newSession := func(opts ...Option) *Session {
+		return New("164.gzip", append([]Option{
+			WithInstructions(insts),
+			WithSeed(99),
+			WithOptimizedLayout(),
+		}, opts...)...)
+	}
+
+	// Generator-backed: blocks produced on the fly from the seeded walk.
+	gen := newSession()
+
+	// File-backed: stream the same source to disk, then replay it.
+	path := filepath.Join(t.TempDir(), "equiv.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := newSession().WriteTrace(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if info.Blocks == 0 || info.Insts < insts {
+		t.Fatalf("implausible trace written: %+v", info)
+	}
+	file := newSession(WithTraceFile(path))
+
+	// In-memory: materialize the trace and wrap it.
+	tr, err := newSession().Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newSession(WithTrace(tr))
+
+	marshal := func(name string, s *Session) []byte {
+		rep, err := s.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep.Seed = 0 // replays are not attributed to a seed
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return buf.Bytes()
+	}
+
+	got := map[string][]byte{
+		"generator": marshal("generator", gen),
+		"file":      marshal("file", file),
+		"in-memory": marshal("in-memory", mem),
+	}
+	for name, b := range got {
+		if !bytes.Equal(b, got["generator"]) {
+			t.Errorf("%s report differs from generator report:\n%s\nvs\n%s",
+				name, b, got["generator"])
+		}
+	}
+}
+
+// TestSourceDeterminism: repeated sources from one session must emit the
+// identical sequence — that is what keeps run-to-run reports reproducible
+// without a materialized reference trace.
+func TestSourceDeterminism(t *testing.T) {
+	s := New("175.vpr", WithInstructions(40_000))
+	a, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; ; i++ {
+		ida, oka := a.Next()
+		idb, okb := b.Next()
+		if oka != okb || ida != idb {
+			t.Fatalf("sources diverge at block %d: (%v,%v) vs (%v,%v)", i, ida, oka, idb, okb)
+		}
+		if !oka {
+			break
+		}
+	}
+	na, ea := a.TotalInsts()
+	nb, eb := b.TotalInsts()
+	if na != nb || !ea || !eb {
+		t.Fatalf("exhausted sources disagree on totals: (%d,%v) vs (%d,%v)", na, ea, nb, eb)
+	}
+}
+
+// TestWriteTraceCancellation: a cancelled context stops a streaming export.
+func TestWriteTraceCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if _, err := New("164.gzip", WithInstructions(1_000_000)).WriteTrace(ctx, &buf); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInspectTraceRejectsTruncation: a trace cut off mid-stream (no footer)
+// must be reported as an error, not summarized as a short trace.
+func TestInspectTraceRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New("164.gzip", WithInstructions(50_000)).WriteTrace(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := InspectTrace(bytes.NewReader(whole)); err != nil {
+		t.Fatalf("intact trace rejected: %v", err)
+	}
+	if _, err := InspectTrace(bytes.NewReader(whole[:len(whole)-3])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
