@@ -1,0 +1,265 @@
+// Command bench measures raw simulator performance and appends a trajectory
+// point to a JSON file (default BENCH_streamfetch.json), so simulator speed
+// is tracked across changes the same way the paper's figures are.
+//
+// Per registered engine it records:
+//
+//   - sim_insts_per_sec: simulated (retired) instructions per wall-clock
+//     second for a full session run (preparation cached, per-run setup
+//     included), measured with testing.Benchmark;
+//   - loop_allocs_per_1k_insts: heap allocations per 1000 retired
+//     instructions inside Processor.Run alone (construction excluded) —
+//     the steady-state hot-loop allocation rate, which should stay ~0;
+//   - the run's model metrics (IPC, fetch IPC, misprediction rate), so a
+//     speedup that silently changed the model is immediately visible;
+//
+// plus, unless -figures=false, the Figure-8 cell: harmonic-mean IPC per
+// engine across the benchmark subset on the optimized layout.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_streamfetch.json] [-label <name>]
+//	    [-insts 300000] [-benchmark 164.gzip] [-width 8]
+//	    [-set 164.gzip,176.gcc,300.twolf] [-figures=true]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"streamfetch"
+	"streamfetch/internal/experiments"
+	"streamfetch/internal/sim"
+)
+
+// EnginePoint is one engine's measurements at a trajectory point.
+type EnginePoint struct {
+	SimInstsPerSec  float64 `json:"sim_insts_per_sec"`
+	NsPerRun        int64   `json:"ns_per_run"`
+	AllocsPerRun    int64   `json:"allocs_per_run"`
+	BytesPerRun     int64   `json:"bytes_per_run"`
+	LoopAllocsPer1K float64 `json:"loop_allocs_per_1k_insts"`
+	IPC             float64 `json:"ipc"`
+	FetchIPC        float64 `json:"fetch_ipc"`
+	MispredRate     float64 `json:"mispred_rate"`
+}
+
+// Point is one trajectory point: everything measured by one bench run.
+type Point struct {
+	Label     string                 `json:"label,omitempty"`
+	Time      string                 `json:"time"`
+	Go        string                 `json:"go"`
+	GOOS      string                 `json:"goos"`
+	GOARCH    string                 `json:"goarch"`
+	Benchmark string                 `json:"benchmark"`
+	Width     int                    `json:"width"`
+	Insts     uint64                 `json:"insts"`
+	Engines   map[string]EnginePoint `json:"engines"`
+	// Fig8HarmonicIPC is the Figure-8 cell at the configured width:
+	// harmonic-mean IPC per engine across the benchmark set, optimized
+	// layout.
+	Fig8HarmonicIPC map[string]float64 `json:"fig8_harmonic_ipc,omitempty"`
+}
+
+// File is the trajectory file: an append-only series of points.
+type File struct {
+	Schema string  `json:"schema"`
+	Points []Point `json:"points"`
+}
+
+const schema = "streamfetch-bench/v1"
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_streamfetch.json", "trajectory file to append to")
+		label     = flag.String("label", "", "label for this trajectory point (e.g. a PR name)")
+		insts     = flag.Uint64("insts", 300_000, "trace length per measured run")
+		benchmark = flag.String("benchmark", "164.gzip", "benchmark for the throughput measurements")
+		width     = flag.Int("width", 8, "pipe width")
+		set       = flag.String("set", "164.gzip,176.gcc,300.twolf", "benchmark subset for the figure sweep")
+		figures   = flag.Bool("figures", true, "also run the Figure-8 harmonic-IPC sweep")
+	)
+	flag.Parse()
+	if err := run(*out, *label, *insts, *benchmark, *width, *set, *figures); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool) error {
+	ctx := context.Background()
+	pt := Point{
+		Label:     label,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchmark: benchmark,
+		Width:     width,
+		Insts:     insts,
+		Engines:   map[string]EnginePoint{},
+	}
+
+	for _, engine := range streamfetch.Engines() {
+		ep, err := measureEngine(ctx, benchmark, engine, width, insts)
+		if err != nil {
+			return err
+		}
+		pt.Engines[engine] = ep
+		fmt.Printf("%-8s %11.0f sim-insts/s  %7.3f loop-allocs/1k  IPC=%.3f fetchIPC=%.2f\n",
+			engine, ep.SimInstsPerSec, ep.LoopAllocsPer1K, ep.IPC, ep.FetchIPC)
+	}
+
+	if figures {
+		h, err := figureSweep(ctx, strings.Split(set, ","), width, insts)
+		if err != nil {
+			return err
+		}
+		pt.Fig8HarmonicIPC = h
+		for _, e := range streamfetch.Engines() {
+			fmt.Printf("fig8 %-8s harmonic IPC %.3f\n", e, h[e])
+		}
+	}
+
+	return appendPoint(out, pt)
+}
+
+// measureEngine times full session runs for throughput and measures the
+// steady-state allocation rate of the simulation loop alone.
+func measureEngine(ctx context.Context, benchmark, engine string, width int, insts uint64) (EnginePoint, error) {
+	s := streamfetch.New(benchmark,
+		streamfetch.WithInstructions(insts),
+		streamfetch.WithWidth(width),
+		streamfetch.WithEngine(engine),
+		streamfetch.WithOptimizedLayout(),
+	)
+	if err := s.Prepare(ctx); err != nil {
+		return EnginePoint{}, err
+	}
+
+	var rep *streamfetch.Report
+	var retired uint64
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		retired = 0
+		for i := 0; i < b.N; i++ {
+			rep, runErr = s.Run(ctx)
+			if runErr != nil {
+				b.FailNow()
+			}
+			retired += rep.Retired
+		}
+	})
+	if runErr != nil {
+		return EnginePoint{}, runErr
+	}
+
+	loopPer1K, err := measureLoopAllocs(s, engine, width)
+	if err != nil {
+		return EnginePoint{}, err
+	}
+
+	secs := r.T.Seconds()
+	ep := EnginePoint{
+		NsPerRun:        r.NsPerOp(),
+		AllocsPerRun:    r.AllocsPerOp(),
+		BytesPerRun:     r.AllocedBytesPerOp(),
+		LoopAllocsPer1K: loopPer1K,
+		IPC:             rep.IPC,
+		FetchIPC:        rep.FetchIPC,
+		MispredRate:     rep.MispredRate,
+	}
+	if secs > 0 {
+		ep.SimInstsPerSec = float64(retired) / secs
+	}
+	return ep, nil
+}
+
+// measureLoopAllocs builds one processor, then counts heap allocations
+// during Processor.Run alone: the steady-state hot-loop allocation rate,
+// excluding construction (caches, predictor tables, decode tables).
+func measureLoopAllocs(s *streamfetch.Session, engine string, width int) (per1k float64, err error) {
+	lay, err := s.Layout("optimized")
+	if err != nil {
+		return 0, err
+	}
+	src, err := s.Source()
+	if err != nil {
+		return 0, err
+	}
+	defer src.Close()
+	proc, err := sim.New(lay, src, sim.Config{Width: width, Engine: engine})
+	if err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := proc.Run()
+	runtime.ReadMemStats(&m1)
+	if res.Retired == 0 {
+		return 0, fmt.Errorf("loop-alloc run retired nothing")
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / (float64(res.Retired) / 1000), nil
+}
+
+// figureSweep runs the Figure-8 cell: harmonic-mean IPC per engine over the
+// benchmark set, optimized layout.
+func figureSweep(ctx context.Context, set []string, width int, insts uint64) (map[string]float64, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.TraceInsts = insts
+	cfg.TrainInsts = insts / 4
+	cfg.Benchmarks = set
+	benches, err := experiments.Prepare(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := experiments.Sweep(ctx, benches, width,
+		[]string{"optimized"}, streamfetch.Engines(), cfg.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	h := experiments.HarmonicIPC(cells)
+	out := map[string]float64{}
+	for _, e := range streamfetch.Engines() {
+		out[e] = h[[2]string{"optimized", e}]
+	}
+	return out, nil
+}
+
+// appendPoint reads the trajectory file (if present), appends pt and writes
+// it back, so the file accumulates one point per recorded change.
+func appendPoint(path string, pt Point) error {
+	var f File
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First point: fresh file.
+	default:
+		return err
+	}
+	f.Schema = schema
+	f.Points = append(f.Points, pt)
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trajectory point %d to %s\n", len(f.Points), path)
+	return nil
+}

@@ -1,0 +1,55 @@
+package streamfetch_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamfetch"
+)
+
+// TestReportGolden pins the full 2M-instruction Report JSON for fixed seeds
+// against goldens captured before the O(1)-decode-table/ring-buffer
+// refactor: the hot-path rework must be invisible in every simulated
+// metric, byte for byte. Regenerate the goldens ONLY for a deliberate
+// model change, never to absorb an accidental one.
+func TestReportGolden(t *testing.T) {
+	cases := []struct {
+		engine, layout, golden string
+	}{
+		{"streams", "optimized", "golden_report_gzip_w8_streams_opt.json"},
+		{"ev8", "base", "golden_report_gzip_w8_ev8_base.json"},
+		{"tcache", "optimized", "golden_report_gzip_w8_tcache_opt.json"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.engine+"/"+tc.layout, func(t *testing.T) {
+			t.Parallel()
+			opts := []streamfetch.Option{
+				streamfetch.WithWidth(8),
+				streamfetch.WithEngine(tc.engine),
+			}
+			if tc.layout == "optimized" {
+				opts = append(opts, streamfetch.WithOptimizedLayout())
+			}
+			rep, err := streamfetch.New("164.gzip", opts...).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := rep.WriteJSON(&got); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("report JSON diverged from %s\ngot:\n%s\nwant:\n%s",
+					tc.golden, got.Bytes(), want)
+			}
+		})
+	}
+}

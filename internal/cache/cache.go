@@ -98,34 +98,36 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 
 func (c *Cache) index(a isa.Addr) (set, tag uint64) {
 	line := uint64(a) >> c.lineShift
-	return line & c.setMask, line >> 0
+	return line & c.setMask, line
 }
 
 // Access looks address a up, filling the line on a miss (LRU victim).
-// It returns true on a hit.
+// It returns true on a hit. The hit lookup and the LRU victim scan share
+// one pass over the set: victim tracking mirrors the classic two-pass
+// selection exactly (first invalid way at index >= 1 wins outright; an
+// invalid way 0 is picked through its zero stamp, since valid stamps are
+// always positive), so replacement decisions are unchanged.
 func (c *Cache) Access(a isa.Addr) bool {
 	c.clock++
 	c.stats.Accesses++
 	set, tag := c.index(a)
 	s := c.sets[set]
+	v, victimFixed := 0, false
 	for i := range s {
 		if s[i].valid && s[i].tag == tag {
 			s[i].stamp = c.clock
 			return true
 		}
+		if victimFixed || i == 0 {
+			continue
+		}
+		if !s[i].valid {
+			v, victimFixed = i, true
+		} else if s[i].stamp < s[v].stamp {
+			v = i
+		}
 	}
 	c.stats.Misses++
-	// LRU victim.
-	v := 0
-	for i := 1; i < len(s); i++ {
-		if !s[i].valid {
-			v = i
-			break
-		}
-		if s[i].stamp < s[v].stamp {
-			v = i
-		}
-	}
 	s[v] = way{tag: tag, valid: true, stamp: c.clock}
 	return false
 }

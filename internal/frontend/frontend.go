@@ -97,10 +97,13 @@ type Request struct {
 }
 
 // FTQ is the fetch target queue decoupling the unit predictor from the
-// instruction cache (Reinman, Austin & Calder).
+// instruction cache (Reinman, Austin & Calder). It is a fixed-capacity ring
+// buffer: Push/Pop never reslice or reallocate, keeping the per-cycle fetch
+// path allocation-free.
 type FTQ struct {
-	q   []Request
-	cap int
+	q    []Request
+	head int
+	n    int
 }
 
 // NewFTQ builds a queue with the given capacity (Table 2: 4 entries).
@@ -108,34 +111,46 @@ func NewFTQ(capacity int) *FTQ {
 	if capacity <= 0 {
 		panic("frontend: FTQ capacity must be positive")
 	}
-	return &FTQ{cap: capacity}
+	return &FTQ{q: make([]Request, capacity)}
 }
 
 // Full reports whether another request fits.
-func (f *FTQ) Full() bool { return len(f.q) >= f.cap }
+func (f *FTQ) Full() bool { return f.n == len(f.q) }
 
 // Empty reports whether the queue holds no requests.
-func (f *FTQ) Empty() bool { return len(f.q) == 0 }
+func (f *FTQ) Empty() bool { return f.n == 0 }
 
 // Len returns the number of queued requests.
-func (f *FTQ) Len() int { return len(f.q) }
+func (f *FTQ) Len() int { return f.n }
 
 // Push appends a request; it panics when full (callers must check).
 func (f *FTQ) Push(r Request) {
 	if f.Full() {
 		panic("frontend: push to full FTQ")
 	}
-	f.q = append(f.q, r)
+	i := f.head + f.n
+	if i >= len(f.q) {
+		i -= len(f.q)
+	}
+	f.q[i] = r
+	f.n++
 }
 
-// Front returns the oldest request for in-place update.
-func (f *FTQ) Front() *Request { return &f.q[0] }
+// Front returns the oldest request for in-place update; callers must check
+// Empty.
+func (f *FTQ) Front() *Request { return &f.q[f.head] }
 
-// Pop removes the oldest request.
-func (f *FTQ) Pop() { f.q = f.q[1:] }
+// Pop removes the oldest request; callers must check Empty.
+func (f *FTQ) Pop() {
+	f.head++
+	if f.head == len(f.q) {
+		f.head = 0
+	}
+	f.n--
+}
 
 // Clear empties the queue (redirect).
-func (f *FTQ) Clear() { f.q = f.q[:0] }
+func (f *FTQ) Clear() { f.head, f.n = 0, 0 }
 
 // ICacheFetcher drains fetch requests through a single-ported instruction
 // cache with very wide lines, delivering at most width instructions per

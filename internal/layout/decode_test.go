@@ -1,0 +1,76 @@
+package layout
+
+import (
+	"testing"
+
+	"streamfetch/internal/isa"
+	"streamfetch/internal/trace"
+	"streamfetch/internal/workload"
+)
+
+// decodeLayouts builds both layouts of a generated benchmark program, the
+// same way sessions do.
+func decodeLayouts(t *testing.T) []*Layout {
+	t.Helper()
+	params, err := workload.ByName("176.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Generate(params)
+	prof := trace.CollectProfile(prog, 7, 200_000)
+	return []*Layout{Baseline(prog), Optimized(prog, prof)}
+}
+
+// TestDecodeTablesMatchOracle differentially checks the flat decode tables
+// (BlockAt, InstAt, StaticTarget, FetchAt) against the retained
+// binary-search oracle over every instruction address of both layouts,
+// plus unmapped addresses on either side of the code segment.
+func TestDecodeTablesMatchOracle(t *testing.T) {
+	for _, l := range decodeLayouts(t) {
+		limit := l.CodeLimit()
+		t.Logf("layout %s: %d slots", l.Name, l.TotalSlots())
+		for a := CodeBase.Plus(-16); a < limit.Plus(16); a = a.Next() {
+			id, slot, ok := l.BlockAt(a)
+			oid, oslot, ook := l.blockAtOracle(a)
+			if id != oid || slot != oslot || ok != ook {
+				t.Fatalf("%s: BlockAt(%v) = (%d,%d,%v), oracle (%d,%d,%v)",
+					l.Name, a, id, slot, ok, oid, oslot, ook)
+			}
+			inst, ok := l.InstAt(a)
+			oinst, ook := l.instAtOracle(a)
+			if inst != oinst || ok != ook {
+				t.Fatalf("%s: InstAt(%v) = (%+v,%v), oracle (%+v,%v)",
+					l.Name, a, inst, ok, oinst, ook)
+			}
+			tgt, ok := l.StaticTarget(a)
+			otgt, ook := l.staticTargetOracle(a)
+			if tgt != otgt || ok != ook {
+				t.Fatalf("%s: StaticTarget(%v) = (%v,%v), oracle (%v,%v)",
+					l.Name, a, tgt, ok, otgt, ook)
+			}
+			fetched := l.FetchAt(a)
+			if oinst, ook := l.instAtOracle(a); ook {
+				if fetched != oinst {
+					t.Fatalf("%s: FetchAt(%v) = %+v, oracle %+v", l.Name, a, fetched, oinst)
+				}
+			} else if want := (isa.Inst{Addr: a, Class: isa.ClassALU}); fetched != want {
+				t.Fatalf("%s: FetchAt(%v) = %+v outside code, want %+v", l.Name, a, fetched, want)
+			}
+		}
+	}
+}
+
+// TestDecodeTableTargetsInSegment: every statically-encoded target must be
+// a code address (the 0 sentinel in the table can never collide with one).
+func TestDecodeTableTargetsInSegment(t *testing.T) {
+	for _, l := range decodeLayouts(t) {
+		for a := CodeBase; a < l.CodeLimit(); a = a.Next() {
+			if tgt, ok := l.StaticTarget(a); ok {
+				if tgt < CodeBase || tgt >= l.CodeLimit() {
+					t.Fatalf("%s: StaticTarget(%v) = %v outside the code segment",
+						l.Name, a, tgt)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,12 @@
 // Static program image: address → instruction lookup. This is the "static
 // basic block dictionary" of the paper's simulator (§4.1), which lets the
 // front-end fetch down wrong paths through real code.
+//
+// The public lookups (BlockAt, InstAt, FetchAt, StaticTarget) are O(1)
+// loads from the flat decode tables built in build(); they run once per
+// fetched instruction (correct- and wrong-path), so they are the hottest
+// functions in the simulator. The sorted-start binary search is retained
+// below as the test oracle the tables are differentially checked against.
 package layout
 
 import (
@@ -10,55 +16,70 @@ import (
 	"streamfetch/internal/isa"
 )
 
-// image caches the sorted block starts for address lookup; built lazily.
-type image struct {
-	starts []isa.Addr    // ascending block start addresses
-	ids    []cfg.BlockID // block at starts[i]
-}
-
-func (l *Layout) img() *image {
-	if l.im == nil {
-		im := &image{
-			starts: make([]isa.Addr, len(l.Order)),
-			ids:    make([]cfg.BlockID, len(l.Order)),
-		}
-		for i, id := range l.Order {
-			im.starts[i] = l.start[id]
-			im.ids[i] = id
-		}
-		l.im = im
+// slotOf maps an address to its decode-table slot; ok is false outside the
+// code segment.
+func (l *Layout) slotOf(a isa.Addr) (int, bool) {
+	if a < CodeBase {
+		return 0, false
 	}
-	return l.im
+	s := int(a-CodeBase) / isa.InstBytes
+	if s >= l.totalSlots {
+		return 0, false
+	}
+	return s, true
 }
 
 // BlockAt returns the block containing address a and the slot offset within
 // it. ok is false when a is outside the code segment.
 func (l *Layout) BlockAt(a isa.Addr) (id cfg.BlockID, slot int, ok bool) {
-	im := l.img()
-	if len(im.starts) == 0 || a < im.starts[0] {
+	s, ok := l.slotOf(a)
+	if !ok {
 		return cfg.NoBlock, 0, false
 	}
-	// Find the last start <= a.
-	i := sort.Search(len(im.starts), func(i int) bool { return im.starts[i] > a }) - 1
-	id = im.ids[i]
-	off := int(a-im.starts[i]) / isa.InstBytes
-	if off >= int(l.slots[id]) {
-		return cfg.NoBlock, 0, false // past the end of the code segment
-	}
-	return id, off, true
+	id = l.slotBlock[s]
+	return id, int(a-l.start[id]) / isa.InstBytes, true
 }
 
 // InstAt returns the static instruction at address a. The front-end uses
 // this to fetch down any (possibly wrong) path.
 func (l *Layout) InstAt(a isa.Addr) (isa.Inst, bool) {
-	id, slot, ok := l.BlockAt(a)
+	s, ok := l.slotOf(a)
 	if !ok {
 		return isa.Inst{}, false
 	}
-	return l.instAtSlot(id, slot, a), true
+	return l.slotInst[s], true
 }
 
-// instAtSlot materializes the instruction at a given slot of a block.
+// FetchAt is the total variant of InstAt used by fetch engines: addresses
+// outside the code segment return a synthetic non-branch instruction, the
+// way real hardware happily fetches whatever bytes sit at a wrong-path
+// address. The misprediction that led there resolves normally and recovery
+// redirects fetch back into code.
+func (l *Layout) FetchAt(a isa.Addr) isa.Inst {
+	if s, ok := l.slotOf(a); ok {
+		return l.slotInst[s]
+	}
+	return isa.Inst{Addr: a, Class: isa.ClassALU}
+}
+
+// StaticTarget returns the taken-path target of the direct branch at address
+// a, as a decoder would compute from the instruction encoding. ok is false
+// for non-branches and for dynamic-target branches (indirect, return).
+func (l *Layout) StaticTarget(a isa.Addr) (isa.Addr, bool) {
+	s, ok := l.slotOf(a)
+	if !ok || l.slotTarget[s] == 0 {
+		return 0, false
+	}
+	return l.slotTarget[s], true
+}
+
+// CodeLimit returns the first address past the code segment.
+func (l *Layout) CodeLimit() isa.Addr {
+	return CodeBase.Plus(l.totalSlots)
+}
+
+// instAtSlot materializes the instruction at a given slot of a block; it is
+// the source of truth the decode tables are built from.
 func (l *Layout) instAtSlot(id cfg.BlockID, slot int, a isa.Addr) isa.Inst {
 	b := l.Prog.Blocks[id]
 	n := int(l.slots[id])
@@ -81,35 +102,9 @@ func (l *Layout) instAtSlot(id cfg.BlockID, slot int, a isa.Addr) isa.Inst {
 	}
 }
 
-// branchAtCFG returns the branch type if slot is the block's terminating
-// branch slot.
-func branchAtCFG(b *cfg.Block, slot int) isa.BranchType {
-	if b.Branch != isa.BranchNone && slot == b.NInsts-1 {
-		return b.Branch
-	}
-	return isa.BranchNone
-}
-
-// FetchAt is the total variant of InstAt used by fetch engines: addresses
-// outside the code segment return a synthetic non-branch instruction, the
-// way real hardware happily fetches whatever bytes sit at a wrong-path
-// address. The misprediction that led there resolves normally and recovery
-// redirects fetch back into code.
-func (l *Layout) FetchAt(a isa.Addr) isa.Inst {
-	if inst, ok := l.InstAt(a); ok {
-		return inst
-	}
-	return isa.Inst{Addr: a, Class: isa.ClassALU}
-}
-
-// StaticTarget returns the taken-path target of the direct branch at address
-// a, as a decoder would compute from the instruction encoding. ok is false
-// for non-branches and for dynamic-target branches (indirect, return).
-func (l *Layout) StaticTarget(a isa.Addr) (isa.Addr, bool) {
-	id, slot, ok := l.BlockAt(a)
-	if !ok {
-		return 0, false
-	}
+// staticTargetAt computes the statically-encoded taken-path target of the
+// instruction at a given slot of a block (the decode-table source of truth).
+func (l *Layout) staticTargetAt(id cfg.BlockID, slot int) (isa.Addr, bool) {
 	b := l.Prog.Blocks[id]
 	n := int(l.slots[id])
 	if l.arr[id] == ArrAppendJump && slot == n-1 {
@@ -133,7 +128,71 @@ func (l *Layout) StaticTarget(a isa.Addr) (isa.Addr, bool) {
 	}
 }
 
-// CodeLimit returns the first address past the code segment.
-func (l *Layout) CodeLimit() isa.Addr {
-	return CodeBase.Plus(l.totalSlots)
+// branchAtCFG returns the branch type if slot is the block's terminating
+// branch slot.
+func branchAtCFG(b *cfg.Block, slot int) isa.BranchType {
+	if b.Branch != isa.BranchNone && slot == b.NInsts-1 {
+		return b.Branch
+	}
+	return isa.BranchNone
+}
+
+// --- Binary-search oracle -------------------------------------------------
+//
+// The pre-table implementation, retained solely so tests can differentially
+// verify the flat decode tables against an independent lookup path.
+
+// image caches the sorted block starts for address lookup; built lazily.
+type image struct {
+	starts []isa.Addr    // ascending block start addresses
+	ids    []cfg.BlockID // block at starts[i]
+}
+
+func (l *Layout) img() *image {
+	if l.im == nil {
+		im := &image{
+			starts: make([]isa.Addr, len(l.Order)),
+			ids:    make([]cfg.BlockID, len(l.Order)),
+		}
+		for i, id := range l.Order {
+			im.starts[i] = l.start[id]
+			im.ids[i] = id
+		}
+		l.im = im
+	}
+	return l.im
+}
+
+// blockAtOracle is the binary-search BlockAt (test oracle).
+func (l *Layout) blockAtOracle(a isa.Addr) (id cfg.BlockID, slot int, ok bool) {
+	im := l.img()
+	if len(im.starts) == 0 || a < im.starts[0] {
+		return cfg.NoBlock, 0, false
+	}
+	// Find the last start <= a.
+	i := sort.Search(len(im.starts), func(i int) bool { return im.starts[i] > a }) - 1
+	id = im.ids[i]
+	off := int(a-im.starts[i]) / isa.InstBytes
+	if off >= int(l.slots[id]) {
+		return cfg.NoBlock, 0, false // past the end of the code segment
+	}
+	return id, off, true
+}
+
+// instAtOracle is the binary-search InstAt (test oracle).
+func (l *Layout) instAtOracle(a isa.Addr) (isa.Inst, bool) {
+	id, slot, ok := l.blockAtOracle(a)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return l.instAtSlot(id, slot, a), true
+}
+
+// staticTargetOracle is the binary-search StaticTarget (test oracle).
+func (l *Layout) staticTargetOracle(a isa.Addr) (isa.Addr, bool) {
+	id, slot, ok := l.blockAtOracle(a)
+	if !ok {
+		return 0, false
+	}
+	return l.staticTargetAt(id, slot)
 }

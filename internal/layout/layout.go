@@ -59,6 +59,19 @@ type Layout struct {
 	condTarget []int8
 	totalSlots int
 	im         *image
+
+	// Flat decode tables, built once in build(): dense per-slot arrays over
+	// the code segment indexed by (addr-CodeBase)/isa.InstBytes, so the
+	// per-instruction lookups on the fetch hot path (InstAt, FetchAt,
+	// StaticTarget, BlockAt) are O(1) loads instead of binary searches.
+	// slotInst holds the fully materialized instruction (address, class,
+	// branch type); slotTarget holds the static taken-path target of the
+	// direct branch in that slot (0 = no statically-encoded target — valid
+	// as a sentinel because all code addresses are >= CodeBase); slotBlock
+	// holds the owning block.
+	slotInst   []isa.Inst
+	slotTarget []isa.Addr
+	slotBlock  []cfg.BlockID
 }
 
 // contCalls returns, per block, the call block whose continuation it is
@@ -151,7 +164,29 @@ func build(p *cfg.Program, name string, order []cfg.BlockID) *Layout {
 		addr = addr.Plus(int(l.slots[id]))
 		l.totalSlots += int(l.slots[id])
 	}
+	l.buildTables()
 	return l
+}
+
+// buildTables populates the flat decode tables from the per-block oracle
+// functions (instAtSlot, staticTargetAt), so the table contents are by
+// construction identical to what the binary-search path would materialize.
+func (l *Layout) buildTables() {
+	l.slotInst = make([]isa.Inst, l.totalSlots)
+	l.slotTarget = make([]isa.Addr, l.totalSlots)
+	l.slotBlock = make([]cfg.BlockID, l.totalSlots)
+	s := 0
+	for _, id := range l.Order {
+		for off := 0; off < int(l.slots[id]); off++ {
+			a := CodeBase.Plus(s)
+			l.slotBlock[s] = id
+			l.slotInst[s] = l.instAtSlot(id, off, a)
+			if t, ok := l.staticTargetAt(id, off); ok {
+				l.slotTarget[s] = t
+			}
+			s++
+		}
+	}
 }
 
 // Baseline lays blocks out in program (creation) order, repaired so that

@@ -69,61 +69,111 @@ type Entry struct {
 	issued       bool
 }
 
-// ROB is a bounded in-order window of Entry.
+// ROB is a bounded in-order window of Entry backed by a fixed-capacity ring
+// buffer: Push, PopHead and SquashAfter never move or reallocate entries,
+// so the simulation hot loop is allocation-free. Entries must be pushed
+// with consecutive sequence numbers (Push enforces this), which makes
+// SquashAfter and Find pure seq-offset arithmetic instead of linear scans.
+// The driver maintains the invariant by rewinding its sequence counter to
+// the squash point on every wrong-path flush.
 type ROB struct {
 	buf  []Entry
-	size int
+	head int // index of the oldest entry
+	n    int // occupancy
 }
 
 // NewROB builds a reorder buffer of the given capacity.
 func NewROB(size int) *ROB {
-	return &ROB{size: size}
+	if size <= 0 {
+		panic("pipeline: ROB capacity must be positive")
+	}
+	return &ROB{buf: make([]Entry, size)}
 }
 
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return len(r.buf) }
+
 // Full reports whether the window is at capacity.
-func (r *ROB) Full() bool { return len(r.buf) >= r.size }
+func (r *ROB) Full() bool { return r.n == len(r.buf) }
 
 // Len returns the occupancy.
-func (r *ROB) Len() int { return len(r.buf) }
+func (r *ROB) Len() int { return r.n }
 
-// Push appends an entry; callers must check Full.
-func (r *ROB) Push(e Entry) { r.buf = append(r.buf, e) }
+// idx maps the i-th oldest entry to its ring position.
+func (r *ROB) idx(i int) int {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
 
-// Head returns the oldest entry for inspection.
-func (r *ROB) Head() *Entry { return &r.buf[0] }
+// Push appends an entry; callers must check Full. Sequence numbers must be
+// consecutive with the current tail — the contiguity that turns Find and
+// SquashAfter into O(1) arithmetic.
+func (r *ROB) Push(e Entry) {
+	if r.Full() {
+		panic("pipeline: push to full ROB")
+	}
+	if r.n > 0 {
+		if tail := r.buf[r.idx(r.n-1)].Seq; e.Seq != tail+1 {
+			panic("pipeline: non-consecutive seq pushed to ROB")
+		}
+	}
+	r.buf[r.idx(r.n)] = e
+	r.n++
+}
 
-// PopHead retires the oldest entry.
+// Head returns the oldest entry for inspection; callers must check Len.
+func (r *ROB) Head() *Entry { return &r.buf[r.head] }
+
+// PopHead retires the oldest entry; callers must check Len.
 func (r *ROB) PopHead() Entry {
-	e := r.buf[0]
-	r.buf = r.buf[1:]
+	e := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
 	return e
 }
 
 // SquashAfter drops every entry with Seq > seq (wrong-path flush) and
 // returns how many were dropped.
 func (r *ROB) SquashAfter(seq uint64) int {
-	for i := range r.buf {
-		if r.buf[i].Seq > seq {
-			n := len(r.buf) - i
-			r.buf = r.buf[:i]
-			return n
-		}
+	if r.n == 0 {
+		return 0
 	}
-	return 0
+	headSeq := r.buf[r.head].Seq
+	if seq < headSeq {
+		n := r.n
+		r.n = 0
+		return n
+	}
+	keep := int(seq-headSeq) + 1
+	if keep >= r.n {
+		return 0
+	}
+	dropped := r.n - keep
+	r.n = keep
+	return dropped
 }
 
-// Find2 returns the i-th oldest entry (diagnostics).
-func (r *ROB) Find2(i int) *Entry { return &r.buf[i] }
+// At returns the i-th oldest entry (diagnostics); callers must check Len.
+func (r *ROB) At(i int) *Entry { return &r.buf[r.idx(i)] }
 
 // Find returns the in-flight entry with the given sequence number, if
 // present (used to attach misprediction state at divergence detection).
+// Thanks to seq contiguity this is offset arithmetic, not a scan.
 func (r *ROB) Find(seq uint64) *Entry {
-	for i := range r.buf {
-		if r.buf[i].Seq == seq {
-			return &r.buf[i]
-		}
+	if r.n == 0 {
+		return nil
 	}
-	return nil
+	headSeq := r.buf[r.head].Seq
+	if seq < headSeq || seq-headSeq >= uint64(r.n) {
+		return nil
+	}
+	return &r.buf[r.idx(int(seq-headSeq))]
 }
 
 // LoadAddrGen synthesizes deterministic data addresses for loads and
@@ -132,21 +182,36 @@ func (r *ROB) Find(seq uint64) *Entry {
 // locality mix of integer codes. Address sequences depend only on the
 // committed instruction stream, so every fetch architecture sees identical
 // data-cache behaviour.
+// Per-instruction counts live in a dense slot-indexed array over the code
+// segment (one uint64 per static instruction slot), so the hot path is an
+// array load instead of a map access; PCs outside the declared segment fall
+// back to a lazily-built overflow map.
 type LoadAddrGen struct {
 	workingSet uint64
-	counts     map[isa.Addr]uint64
+	codeBase   isa.Addr
+	counts     []uint64
+	overflow   map[isa.Addr]uint64
 }
 
 // DataBase is the base virtual address of the synthetic data segment.
 const DataBase = uint64(0x1000_0000)
 
-// NewLoadAddrGen builds a generator over a working set of the given bytes.
-func NewLoadAddrGen(workingSet int) *LoadAddrGen {
+// NewLoadAddrGen builds a generator over a working set of the given bytes,
+// for code occupying codeSlots instruction slots starting at codeBase
+// (typically layout.CodeBase and Layout.TotalSlots).
+func NewLoadAddrGen(workingSet int, codeBase isa.Addr, codeSlots int) *LoadAddrGen {
 	ws := uint64(workingSet)
 	if ws < 1<<15 {
 		ws = 1 << 15
 	}
-	return &LoadAddrGen{workingSet: ws, counts: make(map[isa.Addr]uint64)}
+	if codeSlots < 0 {
+		codeSlots = 0
+	}
+	return &LoadAddrGen{
+		workingSet: ws,
+		codeBase:   codeBase,
+		counts:     make([]uint64, codeSlots),
+	}
 }
 
 func mix64(x uint64) uint64 {
@@ -164,8 +229,17 @@ func mix64(x uint64) uint64 {
 // (high spatial locality, as integer codes exhibit), with occasional far
 // accesses across the working set (pointer chasing).
 func (g *LoadAddrGen) Next(pc isa.Addr) uint64 {
-	n := g.counts[pc]
-	g.counts[pc] = n + 1
+	var n uint64
+	if s := uint64(pc-g.codeBase) / isa.InstBytes; pc >= g.codeBase && s < uint64(len(g.counts)) {
+		n = g.counts[s]
+		g.counts[s] = n + 1
+	} else {
+		if g.overflow == nil {
+			g.overflow = make(map[isa.Addr]uint64)
+		}
+		n = g.overflow[pc]
+		g.overflow[pc] = n + 1
+	}
 	h := mix64(uint64(pc))
 	if n%32 == 31 {
 		// Occasional far access across the working set.

@@ -58,8 +58,8 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestLoadAddrGenDeterministic(t *testing.T) {
-	a := NewLoadAddrGen(1 << 20)
-	b := NewLoadAddrGen(1 << 20)
+	a := NewLoadAddrGen(1<<20, 0x1000, 1<<12)
+	b := NewLoadAddrGen(1<<20, 0x1000, 1<<12)
 	for i := 0; i < 100; i++ {
 		if a.Next(0x1234) != b.Next(0x1234) {
 			t.Fatal("generators diverged")
@@ -68,7 +68,7 @@ func TestLoadAddrGenDeterministic(t *testing.T) {
 }
 
 func TestLoadAddrGenWithinSegment(t *testing.T) {
-	g := NewLoadAddrGen(1 << 18)
+	g := NewLoadAddrGen(1<<18, 0x4000, 8)
 	for i := 0; i < 10000; i++ {
 		a := g.Next(isa.Addr(0x4000 + 4*(i%7)))
 		if a < DataBase || a >= DataBase+(1<<18) {
@@ -80,7 +80,7 @@ func TestLoadAddrGenWithinSegment(t *testing.T) {
 func TestLoadAddrGenLocality(t *testing.T) {
 	// The streaming pattern must produce a high D-cache hit rate.
 	h := cache.NewHierarchy(cache.DefaultHierarchy(8))
-	g := NewLoadAddrGen(1 << 20)
+	g := NewLoadAddrGen(1<<20, 0x1000, 32)
 	lat := Latency{Hier: h, Gen: g, Mul: 3}
 	for i := 0; i < 50000; i++ {
 		e := Entry{Addr: isa.Addr(0x1000 + 4*(i%17)), Class: isa.ClassLoad}
@@ -93,7 +93,7 @@ func TestLoadAddrGenLocality(t *testing.T) {
 
 func TestLatencyClasses(t *testing.T) {
 	h := cache.NewHierarchy(cache.DefaultHierarchy(8))
-	lat := Latency{Hier: h, Gen: NewLoadAddrGen(1 << 16), Mul: 3}
+	lat := Latency{Hier: h, Gen: NewLoadAddrGen(1<<16, 0, 0), Mul: 3}
 	if got := lat.For(&Entry{Class: isa.ClassALU}); got != 1 {
 		t.Fatalf("ALU latency %d", got)
 	}

@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamfetch/internal/isa"
+)
+
+// sliceROB is the pre-ring reference implementation (reslice + append),
+// retained here as the behavioral oracle for the ring ROB.
+type sliceROB struct {
+	buf  []Entry
+	size int
+}
+
+func (r *sliceROB) Full() bool   { return len(r.buf) >= r.size }
+func (r *sliceROB) Len() int     { return len(r.buf) }
+func (r *sliceROB) Push(e Entry) { r.buf = append(r.buf, e) }
+func (r *sliceROB) Head() *Entry { return &r.buf[0] }
+func (r *sliceROB) PopHead() Entry {
+	e := r.buf[0]
+	r.buf = r.buf[1:]
+	return e
+}
+func (r *sliceROB) SquashAfter(seq uint64) int {
+	for i := range r.buf {
+		if r.buf[i].Seq > seq {
+			n := len(r.buf) - i
+			r.buf = r.buf[:i]
+			return n
+		}
+	}
+	return 0
+}
+func (r *sliceROB) Find(seq uint64) *Entry {
+	for i := range r.buf {
+		if r.buf[i].Seq == seq {
+			return &r.buf[i]
+		}
+	}
+	return nil
+}
+func (r *sliceROB) At(i int) *Entry { return &r.buf[i] }
+
+// TestRingROBEquivalence drives the ring ROB and the slice oracle through
+// long random push/pop/squash/find sequences mirroring the simulator's use
+// (consecutive sequence numbers, counter rewound to the squash point) and
+// requires identical observable behavior at every step.
+func TestRingROBEquivalence(t *testing.T) {
+	const size = 16
+	rng := rand.New(rand.NewSource(42))
+	ring := NewROB(size)
+	ref := &sliceROB{size: size}
+	seq := uint64(0)
+
+	check := func(step int) {
+		t.Helper()
+		if ring.Len() != ref.Len() || ring.Full() != ref.Full() {
+			t.Fatalf("step %d: len/full diverged: ring (%d,%v) ref (%d,%v)",
+				step, ring.Len(), ring.Full(), ref.Len(), ref.Full())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if *ring.At(i) != *ref.At(i) {
+				t.Fatalf("step %d: entry %d diverged: ring %+v ref %+v",
+					step, i, *ring.At(i), *ref.At(i))
+			}
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // push
+			if ring.Full() {
+				continue
+			}
+			seq++
+			e := Entry{Seq: seq, Addr: isa.Addr(0x10000 + 4*(seq%1024)), DoneCycle: uint64(rng.Intn(100))}
+			ring.Push(e)
+			ref.Push(e)
+		case op < 7: // pop
+			if ref.Len() == 0 {
+				continue
+			}
+			if *ring.Head() != *ref.Head() {
+				t.Fatalf("step %d: heads diverged", step)
+			}
+			a, b := ring.PopHead(), ref.PopHead()
+			if a != b {
+				t.Fatalf("step %d: PopHead %+v vs %+v", step, a, b)
+			}
+		case op < 8: // squash at a random in-flight (or retired) seq
+			if ref.Len() == 0 {
+				continue
+			}
+			at := ref.At(rng.Intn(ref.Len())).Seq
+			if na, nb := ring.SquashAfter(at), ref.SquashAfter(at); na != nb {
+				t.Fatalf("step %d: SquashAfter(%d) dropped %d vs %d", step, at, na, nb)
+			}
+			// The driver rewinds its counter to the squash point so
+			// sequence numbers stay contiguous.
+			seq = at
+		case op < 9: // find present and absent seqs
+			probe := seq - uint64(rng.Intn(2*size))
+			a, b := ring.Find(probe), ref.Find(probe)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("step %d: Find(%d) presence diverged", step, probe)
+			}
+			if a != nil && *a != *b {
+				t.Fatalf("step %d: Find(%d) %+v vs %+v", step, probe, *a, *b)
+			}
+		default: // mutate a found entry through the pointer (as sim does)
+			if ref.Len() == 0 {
+				continue
+			}
+			at := ref.At(rng.Intn(ref.Len())).Seq
+			ring.Find(at).Mispredicted = true
+			ref.Find(at).Mispredicted = true
+		}
+		check(step)
+	}
+}
+
+// TestRingROBWraps exercises the wrap-around boundary explicitly: fill,
+// half-drain, refill repeatedly so head circles the ring several times.
+func TestRingROBWraps(t *testing.T) {
+	const size = 8
+	r := NewROB(size)
+	seq := uint64(0)
+	for round := 0; round < 5; round++ {
+		for !r.Full() {
+			seq++
+			r.Push(Entry{Seq: seq})
+		}
+		for i := 0; i < size/2; i++ {
+			want := seq - uint64(r.Len()) + 1
+			if e := r.PopHead(); e.Seq != want {
+				t.Fatalf("round %d: popped seq %d, want %d", round, e.Seq, want)
+			}
+		}
+	}
+	// Squash down to two entries across the wrap.
+	head := r.Head().Seq
+	wantDropped := r.Len() - 2
+	if dropped := r.SquashAfter(head + 1); dropped != wantDropped {
+		t.Fatalf("squash dropped %d, want %d", dropped, wantDropped)
+	}
+	if r.Len() != 2 || r.Find(head) == nil || r.Find(head+1) == nil || r.Find(head+2) != nil {
+		t.Fatalf("post-squash state wrong: len=%d", r.Len())
+	}
+}

@@ -217,7 +217,8 @@ func New(lay *layout.Layout, src trace.Source, cfg Config) (*Processor, error) {
 // Engine exposes the running engine (for reports).
 func (p *Processor) Engine() frontend.Engine { return p.engine }
 
-// outstanding tracks the single unresolved misprediction.
+// outstanding tracks the single unresolved misprediction. It is held by
+// value in Run (no per-misprediction heap allocation).
 type outstanding struct {
 	seq      uint64
 	resolve  uint64
@@ -230,18 +231,21 @@ func (p *Processor) Run() Result {
 	width := cfg.Width
 	lat := &pipeline.Latency{
 		Hier: p.hier,
-		Gen:  pipeline.NewLoadAddrGen(cfg.Pipeline.DataWorkingSet),
-		Mul:  cfg.Pipeline.MulLatency,
+		Gen: pipeline.NewLoadAddrGen(cfg.Pipeline.DataWorkingSet,
+			layout.CodeBase, p.lay.TotalSlots()),
+		Mul: cfg.Pipeline.MulLatency,
 	}
 	rob := pipeline.NewROB(cfg.Pipeline.ROBSize)
-	fetchBufCap := 4 * width
+	// The fetch buffer reuses the ROB's ring structure: a fixed-capacity
+	// in-order window of entries with contiguous sequence numbers.
+	fetchBuf := pipeline.NewROB(4 * width)
 
 	var (
 		cycle, seq      uint64
-		fetchBuf        []pipeline.Entry
 		out             []frontend.FetchedInst
 		wrongPath       bool
-		pending         *outstanding
+		pending         outstanding
+		havePending     bool
 		prev            pipeline.Entry
 		prevValid       bool
 		lastCorrectSeq  uint64
@@ -260,10 +264,8 @@ func (p *Processor) Run() Result {
 
 	// findEntry locates an in-flight entry by sequence number.
 	findEntry := func(s uint64) *pipeline.Entry {
-		for i := range fetchBuf {
-			if fetchBuf[i].Seq == s {
-				return &fetchBuf[i]
-			}
+		if e := fetchBuf.Find(s); e != nil {
+			return e
 		}
 		return rob.Find(s)
 	}
@@ -320,31 +322,31 @@ func (p *Processor) Run() Result {
 			p.engine.Commit(cm)
 		}
 		// 2. Resolve an outstanding misprediction.
-		if pending != nil && cycle >= pending.resolve {
+		if havePending && cycle >= pending.resolve {
 			if debugSquash != nil {
 				for i := 0; i < rob.Len(); i++ {
-					e := rob.Find2(i)
+					e := rob.At(i)
 					if e.Seq > pending.seq && !e.WrongPath {
 						debugSquash(*e)
 					}
 				}
-				for i := range fetchBuf {
-					if fetchBuf[i].Seq > pending.seq && !fetchBuf[i].WrongPath {
-						debugSquash(fetchBuf[i])
+				for i := 0; i < fetchBuf.Len(); i++ {
+					e := fetchBuf.At(i)
+					if e.Seq > pending.seq && !e.WrongPath {
+						debugSquash(*e)
 					}
 				}
 			}
 			rob.SquashAfter(pending.seq)
-			for i := range fetchBuf {
-				if fetchBuf[i].Seq > pending.seq {
-					fetchBuf = fetchBuf[:i]
-					break
-				}
-			}
+			fetchBuf.SquashAfter(pending.seq)
+			// Rewind the sequence counter to the squash point so in-flight
+			// sequence numbers stay contiguous — the invariant that lets
+			// the ring buffers locate entries by offset arithmetic.
+			seq = pending.seq
 			p.engine.Redirect(pending.recovery, true)
 			wrongPath = false
 			prevValid = false
-			pending = nil
+			havePending = false
 		}
 		if wantRetired > 0 && res.Retired >= wantRetired {
 			break
@@ -356,14 +358,13 @@ func (p *Processor) Run() Result {
 				break
 			}
 		}
-		if supplyDone && correctInFlight == 0 && pending == nil {
+		if supplyDone && correctInFlight == 0 && !havePending {
 			break
 		}
 
 		// 3. Issue fetch buffer into the ROB.
-		for k := 0; k < width && len(fetchBuf) > 0 && !rob.Full(); k++ {
-			e := fetchBuf[0]
-			fetchBuf = fetchBuf[1:]
+		for k := 0; k < width && fetchBuf.Len() > 0 && !rob.Full(); k++ {
+			e := fetchBuf.PopHead()
 			e.DoneCycle = cycle + uint64(lat.For(&e))
 			rob.Push(e)
 		}
@@ -372,7 +373,7 @@ func (p *Processor) Run() Result {
 		if supplyDone && !wrongPath {
 			continue // nothing correct left to fetch
 		}
-		if cycle < fetchHold || len(fetchBuf)+width > fetchBufCap {
+		if cycle < fetchHold || fetchBuf.Len()+width > fetchBuf.Cap() {
 			continue
 		}
 		out = p.engine.Cycle(out[:0])
@@ -429,18 +430,19 @@ func (p *Processor) Run() Result {
 					}
 					me.Mispredicted = true
 					me.Recovery = c.Addr
-					pending = &outstanding{
+					pending = outstanding{
 						seq:      me.Seq,
 						resolve:  me.ResolveCycle,
 						recovery: c.Addr,
 					}
+					havePending = true
 					wrongPath = true
 					e.WrongPath = true
 				}
 			} else {
 				e.WrongPath = true
 			}
-			fetchBuf = append(fetchBuf, e)
+			fetchBuf.Push(e)
 			prev = e
 			prevValid = true
 		}
