@@ -13,14 +13,18 @@
 //   - the run's model metrics (IPC, fetch IPC, misprediction rate), so a
 //     speedup that silently changed the model is immediately visible;
 //
-// plus, unless -figures=false, the Figure-8 cell: harmonic-mean IPC per
-// engine across the benchmark subset on the optimized layout.
+// plus the shard-scaling series (sim-insts/s for one logical run at
+// shards in {1, 2, 4} over -shardinsts instructions, with wall-clock
+// speedup relative to shards=1 and the host's core count) and, unless
+// -figures=false, the Figure-8 cell: harmonic-mean IPC per engine across
+// the benchmark subset on the optimized layout.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_streamfetch.json] [-label <name>]
 //	    [-insts 300000] [-benchmark 164.gzip] [-width 8]
 //	    [-set 164.gzip,176.gcc,300.twolf] [-figures=true]
+//	    [-shardinsts 4000000]
 package main
 
 import (
@@ -51,6 +55,17 @@ type EnginePoint struct {
 	MispredRate     float64 `json:"mispred_rate"`
 }
 
+// ShardPoint is one sharded-run measurement: wall-clock throughput of a
+// single logical run split into Shards parallel trace intervals.
+type ShardPoint struct {
+	Shards         int     `json:"shards"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+	// Speedup is wall-clock relative to the shards=1 run of the same
+	// workload (bounded by the machine's usable cores).
+	Speedup float64 `json:"speedup"`
+	IPC     float64 `json:"ipc"`
+}
+
 // Point is one trajectory point: everything measured by one bench run.
 type Point struct {
 	Label     string                 `json:"label,omitempty"`
@@ -58,10 +73,16 @@ type Point struct {
 	Go        string                 `json:"go"`
 	GOOS      string                 `json:"goos"`
 	GOARCH    string                 `json:"goarch"`
+	Cores     int                    `json:"cores,omitempty"`
 	Benchmark string                 `json:"benchmark"`
 	Width     int                    `json:"width"`
 	Insts     uint64                 `json:"insts"`
 	Engines   map[string]EnginePoint `json:"engines"`
+	// ShardScaling records sim-insts/s for one logical run at shards in
+	// {1, 2, 4} over ShardInsts instructions (streams engine, optimized
+	// layout); see -shardinsts.
+	ShardInsts   uint64       `json:"shard_insts,omitempty"`
+	ShardScaling []ShardPoint `json:"shard_scaling,omitempty"`
 	// Fig8HarmonicIPC is the Figure-8 cell at the configured width:
 	// harmonic-mean IPC per engine across the benchmark set, optimized
 	// layout.
@@ -78,22 +99,24 @@ const schema = "streamfetch-bench/v1"
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_streamfetch.json", "trajectory file to append to")
-		label     = flag.String("label", "", "label for this trajectory point (e.g. a PR name)")
-		insts     = flag.Uint64("insts", 300_000, "trace length per measured run")
-		benchmark = flag.String("benchmark", "164.gzip", "benchmark for the throughput measurements")
-		width     = flag.Int("width", 8, "pipe width")
-		set       = flag.String("set", "164.gzip,176.gcc,300.twolf", "benchmark subset for the figure sweep")
-		figures   = flag.Bool("figures", true, "also run the Figure-8 harmonic-IPC sweep")
+		out        = flag.String("o", "BENCH_streamfetch.json", "trajectory file to append to")
+		label      = flag.String("label", "", "label for this trajectory point (e.g. a PR name)")
+		insts      = flag.Uint64("insts", 300_000, "trace length per measured run")
+		benchmark  = flag.String("benchmark", "164.gzip", "benchmark for the throughput measurements")
+		width      = flag.Int("width", 8, "pipe width")
+		set        = flag.String("set", "164.gzip,176.gcc,300.twolf", "benchmark subset for the figure sweep")
+		figures    = flag.Bool("figures", true, "also run the Figure-8 harmonic-IPC sweep")
+		shardInsts = flag.Uint64("shardinsts", 4_000_000,
+			"trace length for the shard-scaling measurement (0 = skip)")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *insts, *benchmark, *width, *set, *figures); err != nil {
+	if err := run(*out, *label, *insts, *benchmark, *width, *set, *figures, *shardInsts); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool) error {
+func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool, shardInsts uint64) error {
 	ctx := context.Background()
 	pt := Point{
 		Label:     label,
@@ -101,6 +124,7 @@ func run(out, label string, insts uint64, benchmark string, width int, set strin
 		Go:        runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.GOMAXPROCS(0),
 		Benchmark: benchmark,
 		Width:     width,
 		Insts:     insts,
@@ -115,6 +139,19 @@ func run(out, label string, insts uint64, benchmark string, width int, set strin
 		pt.Engines[engine] = ep
 		fmt.Printf("%-8s %11.0f sim-insts/s  %7.3f loop-allocs/1k  IPC=%.3f fetchIPC=%.2f\n",
 			engine, ep.SimInstsPerSec, ep.LoopAllocsPer1K, ep.IPC, ep.FetchIPC)
+	}
+
+	if shardInsts > 0 {
+		sp, err := measureShards(ctx, benchmark, width, shardInsts)
+		if err != nil {
+			return err
+		}
+		pt.ShardInsts = shardInsts
+		pt.ShardScaling = sp
+		for _, p := range sp {
+			fmt.Printf("shards=%d %11.0f sim-insts/s  speedup %.2fx  IPC=%.3f\n",
+				p.Shards, p.SimInstsPerSec, p.Speedup, p.IPC)
+		}
 	}
 
 	if figures {
@@ -209,6 +246,46 @@ func measureLoopAllocs(s *streamfetch.Session, engine string, width int) (per1k 
 		return 0, fmt.Errorf("loop-alloc run retired nothing")
 	}
 	return float64(m1.Mallocs-m0.Mallocs) / (float64(res.Retired) / 1000), nil
+}
+
+// measureShards times one logical run (streams engine, optimized layout)
+// at shards in {1, 2, 4}: the wall-clock scaling of interval-sharded
+// simulation on this machine. Warmup is 5% of the interval length.
+func measureShards(ctx context.Context, benchmark string, width int, insts uint64) ([]ShardPoint, error) {
+	s := streamfetch.New(benchmark,
+		streamfetch.WithInstructions(insts),
+		streamfetch.WithWidth(width),
+		streamfetch.WithEngine("streams"),
+		streamfetch.WithOptimizedLayout(),
+	)
+	if err := s.Prepare(ctx); err != nil {
+		return nil, err
+	}
+	var out []ShardPoint
+	base := 0.0
+	for _, n := range []int{1, 2, 4} {
+		start := time.Now()
+		rep, err := s.RunWith(ctx,
+			streamfetch.WithShards(n),
+			streamfetch.WithWarmup(insts/uint64(n)/20),
+		)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		p := ShardPoint{Shards: n, IPC: rep.IPC}
+		if secs > 0 {
+			p.SimInstsPerSec = float64(rep.Retired) / secs
+		}
+		if n == 1 {
+			base = secs
+		}
+		if secs > 0 && base > 0 {
+			p.Speedup = base / secs
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 // figureSweep runs the Figure-8 cell: harmonic-mean IPC per engine over the

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	streamsim -bench 164.gzip -engine streams -width 8 -layout optimized \
-//	          [-insts 2000000] [-trace file.trc] [-json]
+//	          [-insts 2000000] [-trace file.trc] [-json] \
+//	          [-shards 4] [-warmup 100000]
+//
+// -shards > 1 splits the run into that many trace intervals simulated in
+// parallel and merged; -warmup sets each mid-trace interval's
+// counters-frozen lead-in. By default shards functionally warm caches
+// through their prefix (accuracy); -cold skips the prefix instead
+// (speed-maximal, seeking through indexed trace files).
 package main
 
 import (
@@ -27,6 +34,10 @@ func main() {
 	width := flag.Int("width", 8, "pipe width")
 	layoutName := flag.String("layout", "optimized", "code layout: base or optimized")
 	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions to simulate")
+	shards := flag.Int("shards", 1, "trace intervals simulated in parallel and merged")
+	warmup := flag.Uint64("warmup", 0, "warmup instructions per mid-trace shard (counters frozen)")
+	cold := flag.Bool("cold", false,
+		"skip shard prefixes (seek/fast-forward) instead of functionally warming caches through them")
 	traceFile := flag.String("trace", "", "replay a saved trace file instead of generating one")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	list := flag.Bool("list", false, "list benchmarks and engines, then exit")
@@ -53,10 +64,15 @@ func main() {
 		streamfetch.WithWidth(*width),
 		streamfetch.WithLayout(*layoutName),
 		streamfetch.WithInstructions(*insts),
-		// A tight progress cadence keeps even short runs responsive to
-		// cancellation.
-		streamfetch.WithProgress(16_384, nil),
+		streamfetch.WithShards(*shards),
+		streamfetch.WithWarmup(*warmup),
 	}
+	if *cold {
+		opts = append(opts, streamfetch.WithColdShards())
+	}
+	// A tight progress cadence keeps even short runs responsive to
+	// cancellation.
+	opts = append(opts, streamfetch.WithProgress(16_384, nil))
 	if *traceFile != "" {
 		opts = append(opts, streamfetch.WithTraceFile(*traceFile))
 	}
@@ -89,6 +105,13 @@ func main() {
 			rep.Branches, 100*rep.MispredRate, rep.Misfetches)
 		fmt.Printf("I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
 			100*rep.ICache.MissRate, 100*rep.DCache.MissRate, 100*rep.L2.MissRate)
+		if rep.Shards > 1 {
+			fmt.Printf("shards         %d (warmup %d insts/shard)\n", rep.Shards, rep.WarmupInsts)
+			for _, iv := range rep.Intervals {
+				fmt.Printf("  shard %-2d @%-12d %8d insts  IPC %.3f  mispred %.2f%%  icacheMiss %.3f%%\n",
+					iv.Index, iv.StartInsts, iv.Insts, iv.IPC, 100*iv.MispredRate, 100*iv.ICacheMissRate)
+			}
+		}
 	}
 	if err != nil {
 		os.Exit(130)

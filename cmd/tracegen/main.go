@@ -2,15 +2,18 @@
 // trace format, or inspects existing trace files. It drives the public
 // streamfetch session API.
 //
-// With -stream the trace is encoded as it is generated, so traces far
-// larger than RAM (the paper's 300M-instruction scale and beyond) are
-// written in constant memory. Without it the trace is materialized first,
-// which also prints its mean block length.
+// Traces are always encoded as they are generated — constant memory at any
+// length, the paper's 300M-instruction scale and beyond — and carry the
+// STRMTRC2 chunk index: sharded replays size their intervals from it
+// without a pre-scan, and cold-shard replays (streamsim -shards -cold)
+// seek straight to their intervals instead of decoding everything before
+// them. Legacy index-less files still replay and shard; they just decode
+// linearly.
 //
 // Usage:
 //
 //	tracegen -bench 164.gzip -insts 2000000 -o gzip.trc
-//	tracegen -bench 176.gcc -insts 300000000 -stream -o gcc.trc
+//	tracegen -bench 176.gcc -insts 300000000 -o gcc.trc
 //	tracegen -inspect gzip.trc
 package main
 
@@ -29,18 +32,13 @@ func main() {
 	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
 	seed := flag.Uint64("seed", 99, "branch behaviour seed (input selection)")
 	out := flag.String("o", "", "output trace file")
-	stream := flag.Bool("stream", false,
-		"stream blocks to the output as they are generated (constant memory, any trace length)")
+	flag.Bool("stream", true,
+		"deprecated: traces always stream (constant memory, any trace length)")
 	inspect := flag.String("inspect", "", "print a summary of an existing trace file")
 	flag.Parse()
 
 	if *inspect != "" {
-		f, err := os.Open(*inspect)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		info, err := streamfetch.InspectTrace(f)
+		info, err := streamfetch.InspectTraceFile(*inspect)
 		if err != nil {
 			fatal(err)
 		}
@@ -71,24 +69,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var info streamfetch.TraceInfo
-	if *stream {
-		// Blocks flow straight from the seeded CFG walk into the encoder.
-		info, err = session.WriteTrace(ctx, f)
-	} else {
-		tr, terr := session.Trace()
-		err = terr
-		if err == nil {
-			err = tr.Write(f)
-		}
-		if err == nil {
-			info = streamfetch.TraceInfo{
-				Name:   tr.Name,
-				Blocks: uint64(len(tr.Blocks)),
-				Insts:  tr.Insts,
-			}
-		}
-	}
+	// Blocks flow straight from the seeded CFG walk into the encoder; the
+	// session binds its program, so the file carries the seek index.
+	info, err := session.WriteTrace(ctx, f)
 	if err != nil {
 		f.Close()
 		os.Remove(*out)
@@ -106,6 +89,11 @@ func printInfo(prefix string, info streamfetch.TraceInfo) {
 	fmt.Printf("insts   %d\n", info.Insts)
 	if info.Blocks > 0 {
 		fmt.Printf("mean block length %.2f instructions\n", info.MeanBlockLen())
+	}
+	if info.Seekable {
+		fmt.Println("seekable: yes (chunk index present; sharded replays seek)")
+	} else {
+		fmt.Println("seekable: no (sharded replays decode linearly)")
 	}
 }
 

@@ -10,46 +10,58 @@ import (
 	"streamfetch"
 )
 
+// goldenCases pins the 2M-instruction golden configurations shared by the
+// plain-run and sharded-run byte-identity tests.
+var goldenCases = []struct {
+	engine, layout, golden string
+}{
+	{"streams", "optimized", "golden_report_gzip_w8_streams_opt.json"},
+	{"ev8", "base", "golden_report_gzip_w8_ev8_base.json"},
+	{"tcache", "optimized", "golden_report_gzip_w8_tcache_opt.json"},
+}
+
+// goldenSession builds the session for one golden case.
+func goldenSession(engine, layout string) *streamfetch.Session {
+	return streamfetch.New("164.gzip",
+		streamfetch.WithWidth(8),
+		streamfetch.WithEngine(engine),
+		streamfetch.WithLayout(layout),
+	)
+}
+
+// assertReportGolden compares a report's JSON byte-for-byte against a
+// golden file.
+func assertReportGolden(t *testing.T, rep *streamfetch.Report, golden string) {
+	t.Helper()
+	var got bytes.Buffer
+	if err := rep.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("report JSON diverged from %s\ngot:\n%s\nwant:\n%s",
+			golden, got.Bytes(), want)
+	}
+}
+
 // TestReportGolden pins the full 2M-instruction Report JSON for fixed seeds
 // against goldens captured before the O(1)-decode-table/ring-buffer
 // refactor: the hot-path rework must be invisible in every simulated
 // metric, byte for byte. Regenerate the goldens ONLY for a deliberate
 // model change, never to absorb an accidental one.
 func TestReportGolden(t *testing.T) {
-	cases := []struct {
-		engine, layout, golden string
-	}{
-		{"streams", "optimized", "golden_report_gzip_w8_streams_opt.json"},
-		{"ev8", "base", "golden_report_gzip_w8_ev8_base.json"},
-		{"tcache", "optimized", "golden_report_gzip_w8_tcache_opt.json"},
-	}
-	for _, tc := range cases {
+	for _, tc := range goldenCases {
 		tc := tc
 		t.Run(tc.engine+"/"+tc.layout, func(t *testing.T) {
 			t.Parallel()
-			opts := []streamfetch.Option{
-				streamfetch.WithWidth(8),
-				streamfetch.WithEngine(tc.engine),
-			}
-			if tc.layout == "optimized" {
-				opts = append(opts, streamfetch.WithOptimizedLayout())
-			}
-			rep, err := streamfetch.New("164.gzip", opts...).Run(context.Background())
+			rep, err := goldenSession(tc.engine, tc.layout).Run(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
-			var got bytes.Buffer
-			if err := rep.WriteJSON(&got); err != nil {
-				t.Fatal(err)
-			}
-			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got.Bytes(), want) {
-				t.Fatalf("report JSON diverged from %s\ngot:\n%s\nwant:\n%s",
-					tc.golden, got.Bytes(), want)
-			}
+			assertReportGolden(t, rep, tc.golden)
 		})
 	}
 }

@@ -39,7 +39,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats counts cache events.
+// Stats counts cache events. Stats are mergeable: independently collected
+// counter blocks (parallel trace intervals, multiple caches) combine with
+// Merge, and a warmup prefix is excluded with Delta.
 type Stats struct {
 	Accesses uint64
 	Misses   uint64
@@ -51,6 +53,23 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Merge accumulates another counter block into s.
+func (s *Stats) Merge(o Stats) {
+	s.Accesses += o.Accesses
+	s.Misses += o.Misses
+}
+
+// Delta returns the events counted since the earlier snapshot.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Accesses: s.Accesses - since.Accesses,
+		Misses:   s.Misses - since.Misses,
+	}
 }
 
 type way struct {

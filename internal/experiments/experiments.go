@@ -19,11 +19,8 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"streamfetch"
 	"streamfetch/internal/cfg"
@@ -31,6 +28,7 @@ import (
 	"streamfetch/internal/frontend"
 	"streamfetch/internal/isa"
 	"streamfetch/internal/layout"
+	"streamfetch/internal/par"
 	"streamfetch/internal/stats"
 	"streamfetch/internal/trace"
 )
@@ -123,51 +121,15 @@ func Prepare(ctx context.Context, c Config) ([]Bench, error) {
 	return out, nil
 }
 
-// forEach runs f(0..n-1) on a bounded worker pool: GOMAXPROCS workers when
-// parallel, one otherwise. The first error (or context cancellation) stops
-// new work from being claimed; in-flight calls finish, every worker joins
-// before return (no goroutine leaks), and that first error is returned.
+// forEach runs f(0..n-1) on the process-wide worker budget (par.Do): the
+// calling goroutine plus whatever extra workers the shared pool can spare,
+// one goroutine total when parallel is false. Sharded session runs inside
+// f draw from the same pool, so shards × sweep workers never oversubscribe
+// GOMAXPROCS. The first error (or context cancellation) stops new work
+// from being claimed; in-flight calls finish, every worker joins before
+// return (no goroutine leaks), and that first error is returned.
 func forEach(ctx context.Context, n int, parallel bool, f func(i int) error) error {
-	workers := 1
-	if parallel {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		failed.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !failed.Load() {
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := f(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.Do(ctx, n, parallel, f)
 }
 
 // Cell is one simulation outcome within a sweep.

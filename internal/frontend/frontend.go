@@ -53,7 +53,9 @@ type Engine interface {
 	FetchStats() FetchStats
 }
 
-// FetchStats aggregates front-end delivery statistics.
+// FetchStats aggregates front-end delivery statistics. The counters are
+// mergeable: independently collected blocks (parallel trace intervals)
+// combine with Merge, and a warmup prefix is excluded with Delta.
 type FetchStats struct {
 	// Delivered counts instructions handed to the pipeline (correct and
 	// wrong path).
@@ -70,6 +72,33 @@ type FetchStats struct {
 	// PredictorLookups/PredictorHits count unit-predictor activity.
 	PredictorLookups uint64
 	PredictorHits    uint64
+}
+
+// Reset zeroes the counters.
+func (s *FetchStats) Reset() { *s = FetchStats{} }
+
+// Merge accumulates another counter block into s.
+func (s *FetchStats) Merge(o FetchStats) {
+	s.Delivered += o.Delivered
+	s.Cycles += o.Cycles
+	s.DeliveryCycles += o.DeliveryCycles
+	s.Units += o.Units
+	s.UnitInsts += o.UnitInsts
+	s.PredictorLookups += o.PredictorLookups
+	s.PredictorHits += o.PredictorHits
+}
+
+// Delta returns the events counted since the earlier snapshot.
+func (s FetchStats) Delta(since FetchStats) FetchStats {
+	return FetchStats{
+		Delivered:        s.Delivered - since.Delivered,
+		Cycles:           s.Cycles - since.Cycles,
+		DeliveryCycles:   s.DeliveryCycles - since.DeliveryCycles,
+		Units:            s.Units - since.Units,
+		UnitInsts:        s.UnitInsts - since.UnitInsts,
+		PredictorLookups: s.PredictorLookups - since.PredictorLookups,
+		PredictorHits:    s.PredictorHits - since.PredictorHits,
+	}
 }
 
 // MeanUnitLen returns the mean predicted fetch-unit length.

@@ -1,0 +1,119 @@
+// Package par is the process-wide simulation worker budget. Every bounded
+// fan-out in the module — experiment sweeps, sharded session runs — draws
+// extra workers from one shared pool of GOMAXPROCS-1 tokens, so nested
+// parallelism (a sharded run inside a sweep worker) composes instead of
+// multiplying: total concurrency stays at GOMAXPROCS however the fan-outs
+// stack.
+//
+// The calling goroutine always participates in its own work and never
+// needs a token, which is what makes nesting deadlock-free: a worker that
+// holds a token and opens an inner fan-out still makes progress even when
+// the pool is empty.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu     sync.Mutex
+	tokens chan struct{}
+)
+
+func init() { SetBudget(runtime.GOMAXPROCS(0) - 1) }
+
+// SetBudget resets the extra-worker pool to n tokens (total parallelism
+// n+1 counting the caller). It exists for tests and unusual deployments;
+// calling it while work is in flight loses outstanding tokens, so don't.
+func SetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		c <- struct{}{}
+	}
+	mu.Lock()
+	tokens = c
+	mu.Unlock()
+}
+
+// tryAcquire claims one extra-worker token without blocking.
+func tryAcquire() (chan struct{}, bool) {
+	mu.Lock()
+	c := tokens
+	mu.Unlock()
+	select {
+	case <-c:
+		return c, true
+	default:
+		return nil, false
+	}
+}
+
+// Do runs f(0..n-1) on the calling goroutine plus however many extra
+// workers the shared budget can spare (none when parallel is false).
+// Tokens are re-polled as indices are claimed, so a fan-out that starts
+// while the pool is momentarily drained still picks up workers freed by
+// other fan-outs finishing mid-run. The first error — or context
+// cancellation — stops new work from being claimed; in-flight calls
+// finish, every worker joins before return (no goroutine leaks), and that
+// first error is returned.
+func Do(ctx context.Context, n int, parallel bool, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	var work func()
+	// spawn adds one extra worker if the pool can spare a token right
+	// now. Every worker (the new one included) re-attempts a spawn per
+	// claimed index, so ramp-up is immediate when tokens are free and
+	// late-freed tokens are still picked up.
+	spawn := func() {
+		c, ok := tryAcquire()
+		if !ok {
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { c <- struct{}{} }()
+			work()
+		}()
+	}
+	work = func() {
+		for !failed.Load() {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if parallel && i+1 < n {
+				spawn()
+			}
+			if err := f(i); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+	work()
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,93 @@
+// Mergeable simulation counters. Every event counter a run accumulates —
+// driver-side retirement and branch counts, the engine's fetch statistics,
+// the cache hierarchy's access counts — lives in one Counters block, so a
+// run splits into warmup and measure phases by snapshot (Delta) and
+// independently simulated trace intervals combine into one logical run
+// (Merge).
+package sim
+
+import (
+	"streamfetch/internal/cache"
+	"streamfetch/internal/frontend"
+)
+
+// Counters is the counter block of one simulation phase: everything in a
+// Result that accumulates per event, none of the identity or derived-rate
+// fields. The zero value is an empty block.
+type Counters struct {
+	Cycles  uint64
+	Retired uint64
+
+	Branches     uint64
+	Mispredicted uint64
+	// MispredByType breaks mispredictions down by branch type (indexed
+	// by isa.BranchType).
+	MispredByType [8]uint64
+	// Misfetches counts decode-stage redirects (wrong or missing targets
+	// caught before execute).
+	Misfetches uint64
+
+	Fetch frontend.FetchStats
+
+	ICache cache.Stats
+	DCache cache.Stats
+	L2     cache.Stats
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Merge accumulates another counter block into c. Merging the per-interval
+// blocks of a sharded run yields the logical run's totals; note that
+// summed Cycles from intervals simulated in parallel measure simulated
+// work, not wall-clock.
+func (c *Counters) Merge(o Counters) {
+	c.Cycles += o.Cycles
+	c.Retired += o.Retired
+	c.Branches += o.Branches
+	c.Mispredicted += o.Mispredicted
+	for i := range c.MispredByType {
+		c.MispredByType[i] += o.MispredByType[i]
+	}
+	c.Misfetches += o.Misfetches
+	c.Fetch.Merge(o.Fetch)
+	c.ICache.Merge(o.ICache)
+	c.DCache.Merge(o.DCache)
+	c.L2.Merge(o.L2)
+}
+
+// Delta returns the events counted since the earlier snapshot — how a
+// warmup prefix is excluded from a run's measured counters.
+func (c Counters) Delta(since Counters) Counters {
+	d := Counters{
+		Cycles:       c.Cycles - since.Cycles,
+		Retired:      c.Retired - since.Retired,
+		Branches:     c.Branches - since.Branches,
+		Mispredicted: c.Mispredicted - since.Mispredicted,
+		Misfetches:   c.Misfetches - since.Misfetches,
+		Fetch:        c.Fetch.Delta(since.Fetch),
+		ICache:       c.ICache.Delta(since.ICache),
+		DCache:       c.DCache.Delta(since.DCache),
+		L2:           c.L2.Delta(since.L2),
+	}
+	for i := range d.MispredByType {
+		d.MispredByType[i] = c.MispredByType[i] - since.MispredByType[i]
+	}
+	return d
+}
+
+// IPC returns retired correct-path instructions per cycle (0 when idle).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// MispredRate returns mispredicted branches per committed branch.
+func (c Counters) MispredRate() float64 {
+	if c.Branches == 0 {
+		return 0
+	}
+	return float64(c.Mispredicted) / float64(c.Branches)
+}

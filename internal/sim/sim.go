@@ -91,7 +91,9 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// Result aggregates one simulation's outcome.
+// Result aggregates one simulation's outcome: the run's identity, its
+// mergeable counter block (the measured phase, when the source carried a
+// warmup lead-in), and rates derived from those counters.
 type Result struct {
 	Engine string
 	Width  int
@@ -100,29 +102,27 @@ type Result struct {
 	// the counters then cover only the simulated prefix.
 	Aborted bool
 
-	Cycles  uint64
-	Retired uint64
+	// Counters holds the run's event counts. For a run whose source
+	// delivered a warmup lead-in (trace.IntervalSource), it covers the
+	// measured phase only; Warmup holds the frozen lead-in.
+	Counters
+	// Warmup is the counter block of the warmup phase (zero when the run
+	// had none): caches and predictors trained, nothing measured.
+	Warmup Counters
+
 	// IPC is retired correct-path instructions per cycle.
 	IPC float64
-
-	Branches     uint64
-	Mispredicted uint64
-	// MispredByType breaks mispredictions down by branch type (indexed
-	// by isa.BranchType).
-	MispredByType [8]uint64
 	// MispredRate is mispredicted branches per committed branch.
 	MispredRate float64
-	// Misfetches counts decode-stage redirects (wrong or missing targets
-	// caught before execute).
-	Misfetches uint64
-
-	Fetch frontend.FetchStats
 	// FetchIPC is delivered instructions per front-end cycle.
 	FetchIPC float64
+}
 
-	ICache cache.Stats
-	DCache cache.Stats
-	L2     cache.Stats
+// finalize fills the derived rates from the counter block.
+func (r *Result) finalize() {
+	r.IPC = r.Counters.IPC()
+	r.MispredRate = r.Counters.MispredRate()
+	r.FetchIPC = r.Fetch.FetchIPC()
 }
 
 // String renders a one-line summary.
@@ -132,10 +132,30 @@ func (r Result) String() string {
 		100*r.ICache.MissRate())
 }
 
+// warmSource is the optional source contract for interval sources with
+// lead-in regions (trace.IntervalSource): delivered blocks carry a region
+// flag. Functional-warming blocks are replayed through the fwarm callback
+// without entering the pipeline; timing-warmup blocks are simulated with
+// counters frozen until they have all retired.
+type warmSource interface {
+	// WarmupPending reports whether any lead-in remains.
+	WarmupPending() bool
+	// LastRegion classifies the block most recently returned by Next.
+	LastRegion() trace.Region
+}
+
 // dynSupply lazily expands the block trace into dynamic instructions under
 // the layout. It pulls blocks from a trace.Source with one block of
 // lookahead (expansion needs the dynamically following block), so memory is
 // a single block's worth of instructions regardless of trace length.
+//
+// When the source carries lead-in regions (warm != nil), the supply
+// handles them in expansion order: functional-warming blocks are expanded,
+// handed to the fwarm callback instruction by instruction, and never
+// delivered to the pipeline; timing-warmup blocks are delivered and
+// counted into warmDyn. Lead-in blocks are a strict prefix of the stream,
+// so once a measured block has been expanded (crossed), warmDyn is the
+// exact retirement count at which the measure phase begins.
 type dynSupply struct {
 	lay      *layout.Layout
 	src      trace.Source
@@ -146,15 +166,32 @@ type dynSupply struct {
 	haveNext bool
 	buf      []layout.DynInst
 	pos      int
+
+	warm    warmSource
+	fwarm   func(layout.DynInst)
+	curReg  trace.Region
+	nextReg trace.Region
+	warmDyn uint64
+	crossed bool
+}
+
+// pull reads one block from the source together with its region flag.
+func (d *dynSupply) pull() (cfg.BlockID, bool, trace.Region) {
+	id, ok := d.src.Next()
+	reg := trace.RegionMeasure
+	if ok && d.warm != nil {
+		reg = d.warm.LastRegion()
+	}
+	return id, ok, reg
 }
 
 func (d *dynSupply) peek() (layout.DynInst, bool) {
 	for d.pos >= len(d.buf) {
 		if !d.primed {
 			d.primed = true
-			d.cur, d.haveCur = d.src.Next()
+			d.cur, d.haveCur, d.curReg = d.pull()
 			if d.haveCur {
-				d.next, d.haveNext = d.src.Next()
+				d.next, d.haveNext, d.nextReg = d.pull()
 			}
 		}
 		if !d.haveCur {
@@ -166,9 +203,26 @@ func (d *dynSupply) peek() (layout.DynInst, bool) {
 		}
 		d.buf = d.lay.AppendDyn(d.buf[:0], d.cur, nb)
 		d.pos = 0
-		d.cur, d.haveCur = d.next, d.haveNext
+		if d.warm != nil {
+			switch d.curReg {
+			case trace.RegionFuncWarm:
+				// Replay state functionally and drop the block: the
+				// pipeline never sees it.
+				if d.fwarm != nil {
+					for _, di := range d.buf {
+						d.fwarm(di)
+					}
+				}
+				d.pos = len(d.buf)
+			case trace.RegionWarm:
+				d.warmDyn += uint64(len(d.buf))
+			default:
+				d.crossed = true
+			}
+		}
+		d.cur, d.haveCur, d.curReg = d.next, d.haveNext, d.nextReg
 		if d.haveCur {
-			d.next, d.haveNext = d.src.Next()
+			d.next, d.haveNext, d.nextReg = d.pull()
 		} else {
 			d.haveNext = false
 		}
@@ -205,13 +259,32 @@ func New(lay *layout.Layout, src trace.Source, cfg Config) (*Processor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Processor{
+	p := &Processor{
 		cfg:    cfg,
 		lay:    lay,
 		hier:   hier,
 		engine: eng,
 		supply: dynSupply{lay: lay, src: src},
-	}, nil
+	}
+	// A source with warmup lead-in splits the run into a counters-frozen
+	// warmup phase and a measured phase.
+	if ws, ok := src.(warmSource); ok && ws.WarmupPending() {
+		p.supply.warm = ws
+	}
+	return p, nil
+}
+
+// counters assembles the full counter block at the current point of a run:
+// the driver-side counts already in res plus the engine and hierarchy
+// statistics.
+func (p *Processor) counters(res *Result, cycle uint64) Counters {
+	c := res.Counters
+	c.Cycles = cycle
+	c.Fetch = p.engine.FetchStats()
+	c.ICache = p.hier.ICache.Stats()
+	c.DCache = p.hier.DCache.Stats()
+	c.L2 = p.hier.L2.Stats()
+	return c
 }
 
 // Engine exposes the running engine (for reports).
@@ -225,7 +298,15 @@ type outstanding struct {
 	recovery isa.Addr
 }
 
-// Run executes the simulation and returns its results.
+// Run executes the simulation and returns its results. When the source is
+// a warmup-bearing interval (trace.IntervalSource), the run splits into a
+// warmup phase — caches and predictors train, counters are frozen out of
+// the result by snapshot — and a measured phase covering exactly the
+// source's measure window; Result.Counters then holds the measured phase
+// and Result.Warmup the lead-in. MaxInsts counts all retired instructions,
+// warmup included. A run whose trace ends inside the warmup lead-in (an
+// empty measure window) reports zero measured counters with everything in
+// Warmup, so degenerate intervals merge losslessly.
 func (p *Processor) Run() Result {
 	cfg := p.cfg
 	width := cfg.Width
@@ -262,12 +343,55 @@ func (p *Processor) Run() Result {
 	res.Engine = cfg.Engine
 	res.Width = width
 
+	// Warmup split: while the source's warmup lead-in drains, counters
+	// run normally; the moment every warm instruction has retired, the
+	// full counter block is snapshotted and later subtracted, so the
+	// measured counters cover exactly the source's measure window while
+	// caches and predictors keep the training the warmup gave them.
+	var (
+		warmPending = p.supply.warm != nil
+		warmSnap    Counters
+		haveWarm    bool
+	)
+
 	// findEntry locates an in-flight entry by sequence number.
 	findEntry := func(s uint64) *pipeline.Entry {
 		if e := fetchBuf.Find(s); e != nil {
 			return e
 		}
 		return rob.Find(s)
+	}
+
+	// Functional warming: the interval's pre-warmup prefix is replayed
+	// through the cache hierarchy and the load address generator without
+	// timing, so a mid-trace shard starts its measure window with
+	// in-situ-accurate memory state — and with the per-PC address
+	// sequences exactly where a whole-trace run would have them. The
+	// instruction stream is walked at decode speed (no pipeline), which
+	// is what keeps sharding profitable.
+	if p.supply.warm != nil {
+		lineMask := ^isa.Addr(p.hier.ICache.LineBytes() - 1)
+		lastLine := ^isa.Addr(0)
+		p.supply.fwarm = func(di layout.DynInst) {
+			if line := di.Addr & lineMask; line != lastLine {
+				lastLine = line
+				p.hier.FetchLatency(di.Addr)
+			}
+			switch di.Class {
+			case isa.ClassLoad:
+				p.hier.LoadLatency(isa.Addr(lat.Gen.Next(di.Addr)))
+			case isa.ClassStore:
+				p.hier.Store(isa.Addr(lat.Gen.Next(di.Addr)))
+			}
+		}
+	}
+
+	// A mid-trace interval's first correct-path instruction is not the
+	// program entry the engine was built to fetch from: point fetch at it
+	// before the first cycle. Whole-trace runs start at the entry already,
+	// so they see no redirect (and stay byte-identical).
+	if first, ok := p.supply.peek(); ok && first.Addr != p.lay.Start(p.lay.Prog.Entry) {
+		p.engine.Redirect(first.Addr, false)
 	}
 
 	maxCycles := uint64(1) << 40
@@ -281,6 +405,12 @@ func (p *Processor) Run() Result {
 		// builders) then includes the diverging stream when Redirect
 		// copies it into the speculative state.
 		for k := 0; k < width && rob.Len() > 0; k++ {
+			// Hold retirement at the warmup boundary so the snapshot
+			// below lands exactly between the last warm and the first
+			// measured instruction (a single cycle can retire both).
+			if warmPending && res.Retired >= p.supply.warmDyn {
+				break
+			}
 			h := rob.Head()
 			if h.WrongPath || h.DoneCycle > cycle {
 				break
@@ -320,6 +450,15 @@ func (p *Processor) Run() Result {
 				cfg.OnCommit(cm)
 			}
 			p.engine.Commit(cm)
+		}
+		// 1b. End of warmup: every warm instruction has retired (warmDyn
+		// is final once a measured block has been expanded, which always
+		// precedes its fetch and retirement). Freeze the warmup counters
+		// by snapshot; state (caches, predictors, pipeline) carries over.
+		if warmPending && p.supply.crossed && res.Retired >= p.supply.warmDyn {
+			warmPending = false
+			haveWarm = true
+			warmSnap = p.counters(&res, cycle)
 		}
 		// 2. Resolve an outstanding misprediction.
 		if havePending && cycle >= pending.resolve {
@@ -448,18 +587,20 @@ func (p *Processor) Run() Result {
 		}
 	}
 
-	res.Cycles = cycle
-	if cycle > 0 {
-		res.IPC = float64(res.Retired) / float64(cycle)
+	if warmPending {
+		// The trace ended (or the run aborted) before the measure window
+		// began: nothing was measured. Freeze everything as warmup, so a
+		// degenerate interval contributes zero to a merge instead of
+		// double-counting lead-in work that belongs to other intervals.
+		haveWarm = true
+		warmSnap = p.counters(&res, cycle)
 	}
-	if res.Branches > 0 {
-		res.MispredRate = float64(res.Mispredicted) / float64(res.Branches)
+	res.Counters = p.counters(&res, cycle)
+	if haveWarm {
+		res.Warmup = warmSnap
+		res.Counters = res.Counters.Delta(warmSnap)
 	}
-	res.Fetch = p.engine.FetchStats()
-	res.FetchIPC = res.Fetch.FetchIPC()
-	res.ICache = p.hier.ICache.Stats()
-	res.DCache = p.hier.DCache.Stats()
-	res.L2 = p.hier.L2.Stats()
+	res.finalize()
 	return res
 }
 

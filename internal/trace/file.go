@@ -8,17 +8,23 @@
 // chunks of zig-zag varint deltas of block IDs (which compresses loopy
 // traces well), a zero-length terminator chunk, and a footer carrying the
 // total instruction and block counts — a trailer rather than a header
-// because a streaming writer only knows the totals at the end. The previous
-// count-prefixed format (STRMTRC1) is still read.
+// because a streaming writer only knows the totals at the end. An optional
+// chunk index follows the footer (older readers stop at the footer and
+// never see it): per-chunk stream offsets, block/instruction positions and
+// decoder state, which is what lets Skip seek straight to an interval
+// instead of decoding everything before it. The previous count-prefixed
+// format (STRMTRC1) is still read.
 package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"streamfetch/internal/cfg"
 )
@@ -26,13 +32,47 @@ import (
 const (
 	magicV1 = "STRMTRC1"
 	magicV2 = "STRMTRC2"
-	maxName = 1 << 10
+	// indexMagic terminates the optional chunk index trailing the footer.
+	// The index is backward-compatible both ways: old readers stop at the
+	// footer and never see it, and index-less files simply skip linearly.
+	indexMagic = "STRMIDX1"
+	maxName    = 1 << 10
 	// chunkBlocks is the writer's encoding granularity. Chunks exist so a
 	// reader can tell block records from the footer without a count up
-	// front; their size only trades header overhead (1-2 bytes per chunk)
-	// against buffering.
+	// front (and, with the index, so Skip can seek); their size trades
+	// header overhead (1-2 bytes per chunk) against buffering and seek
+	// granularity.
 	chunkBlocks = 4096
 )
+
+// chunkRef locates one chunk for seeking: the stream offset of its header
+// and the decoder state on entry (blocks and instructions already consumed,
+// and the running block ID the zig-zag deltas continue from).
+type chunkRef struct {
+	off    uint64
+	blocks uint64
+	insts  uint64
+	prev   int64
+}
+
+// chunkIndex is the decoded footer index of a seekable trace file.
+type chunkIndex struct {
+	totalInsts  uint64
+	totalBlocks uint64
+	entries     []chunkRef
+}
+
+// find returns the last chunk whose starting instruction count is at most
+// target (nil when even the first chunk starts beyond it).
+func (ix *chunkIndex) find(target uint64) *chunkRef {
+	j := sort.Search(len(ix.entries), func(k int) bool {
+		return ix.entries[k].insts > target
+	}) - 1
+	if j < 0 {
+		return nil
+	}
+	return &ix.entries[j]
+}
 
 // Writer streams a block sequence into the binary trace format. Blocks are
 // encoded as they are appended; nothing is buffered beyond the current
@@ -45,6 +85,15 @@ type Writer struct {
 	prev     int64
 	blocks   uint64
 	finished bool
+
+	// Index state. off is the stream offset written so far; when a
+	// program is bound the writer records one chunkRef per chunk and
+	// emits the seek index after the footer.
+	off        uint64
+	prog       *cfg.Program
+	chunkInsts uint64
+	instsSoFar uint64
+	entries    []chunkRef
 }
 
 // NewWriter writes the header for a trace named name and returns the
@@ -54,22 +103,44 @@ func NewWriter(w io.Writer, name string) (*Writer, error) {
 		return nil, fmt.Errorf("trace: name too long (%d bytes)", len(name))
 	}
 	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
-	if _, err := tw.bw.WriteString(magicV2); err != nil {
+	if err := tw.writeString(magicV2); err != nil {
 		return nil, err
 	}
 	if err := tw.writeUvarint(uint64(len(name))); err != nil {
 		return nil, err
 	}
-	if _, err := tw.bw.WriteString(name); err != nil {
+	if err := tw.writeString(name); err != nil {
 		return nil, err
 	}
 	return tw, nil
 }
 
+// BindProgram supplies per-block instruction counts so the writer records
+// the chunk index that makes the file seekable (Skip by chunk rather than
+// linear decode). Bind before the first Append; without it the file is
+// still valid, just index-less. A block outside the program disables the
+// index rather than failing the write.
+func (w *Writer) BindProgram(p *cfg.Program) { w.prog = p }
+
+func (w *Writer) writeString(s string) error {
+	n, err := w.bw.WriteString(s)
+	w.off += uint64(n)
+	return err
+}
+
 func (w *Writer) writeUvarint(v uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	_, err := w.bw.Write(buf[:n])
+	nw, err := w.bw.Write(buf[:n])
+	w.off += uint64(nw)
+	return err
+}
+
+func (w *Writer) writeVarint(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	nw, err := w.bw.Write(buf[:n])
+	w.off += uint64(nw)
 	return err
 }
 
@@ -77,6 +148,15 @@ func (w *Writer) writeUvarint(v uint64) error {
 func (w *Writer) Append(id cfg.BlockID) error {
 	if w.finished {
 		return errors.New("trace: Append after Finish")
+	}
+	if w.prog != nil {
+		if int(id) < 0 || int(id) >= len(w.prog.Blocks) {
+			// Trace does not match the bound program: write a valid
+			// index-less file instead of failing.
+			w.prog, w.entries, w.chunkInsts, w.instsSoFar = nil, nil, 0, 0
+		} else {
+			w.chunkInsts += uint64(w.prog.Blocks[id].NInsts)
+		}
 	}
 	w.chunk = append(w.chunk, id)
 	if len(w.chunk) >= chunkBlocks {
@@ -88,30 +168,43 @@ func (w *Writer) Append(id cfg.BlockID) error {
 // Blocks returns the number of blocks appended so far.
 func (w *Writer) Blocks() uint64 { return w.blocks + uint64(len(w.chunk)) }
 
+// Indexed reports whether the writer is recording the chunk index (a
+// program is bound and every appended block belonged to it).
+func (w *Writer) Indexed() bool { return w.prog != nil }
+
 func (w *Writer) flushChunk() error {
 	if len(w.chunk) == 0 {
 		return nil
 	}
+	if w.prog != nil {
+		w.entries = append(w.entries, chunkRef{
+			off:    w.off,
+			blocks: w.blocks,
+			insts:  w.instsSoFar,
+			prev:   w.prev,
+		})
+	}
 	if err := w.writeUvarint(uint64(len(w.chunk))); err != nil {
 		return err
 	}
-	var buf [binary.MaxVarintLen64]byte
 	for _, id := range w.chunk {
 		delta := int64(id) - w.prev
 		w.prev = int64(id)
-		n := binary.PutVarint(buf[:], delta)
-		if _, err := w.bw.Write(buf[:n]); err != nil {
+		if err := w.writeVarint(delta); err != nil {
 			return err
 		}
 	}
 	w.blocks += uint64(len(w.chunk))
+	w.instsSoFar += w.chunkInsts
+	w.chunkInsts = 0
 	w.chunk = w.chunk[:0]
 	return nil
 }
 
 // Finish flushes the remaining blocks and writes the terminator and footer;
-// totalInsts is the trace's CFG-level instruction count. The Writer is
-// unusable afterwards.
+// totalInsts is the trace's CFG-level instruction count. When a program is
+// bound the chunk index follows the footer (invisible to pre-index
+// readers, which stop at the footer). The Writer is unusable afterwards.
 func (w *Writer) Finish(totalInsts uint64) error {
 	if w.finished {
 		return errors.New("trace: Finish called twice")
@@ -129,7 +222,50 @@ func (w *Writer) Finish(totalInsts uint64) error {
 	if err := w.writeUvarint(w.blocks); err != nil {
 		return err
 	}
+	if w.prog != nil {
+		if err := w.writeIndex(totalInsts); err != nil {
+			return err
+		}
+	}
 	return w.bw.Flush()
+}
+
+// writeIndex emits the seek index: a delta-encoded chunkRef per chunk plus
+// the totals, then a fixed 16-byte trailer (section length + magic) so a
+// reader can find the section from the end of the file.
+func (w *Writer) writeIndex(totalInsts uint64) error {
+	start := w.off
+	if err := w.writeUvarint(totalInsts); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(w.blocks); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(uint64(len(w.entries))); err != nil {
+		return err
+	}
+	var last chunkRef
+	for _, e := range w.entries {
+		if err := w.writeUvarint(e.off - last.off); err != nil {
+			return err
+		}
+		if err := w.writeUvarint(e.blocks - last.blocks); err != nil {
+			return err
+		}
+		if err := w.writeUvarint(e.insts - last.insts); err != nil {
+			return err
+		}
+		if err := w.writeVarint(e.prev - last.prev); err != nil {
+			return err
+		}
+		last = e
+	}
+	var trailer [16]byte
+	binary.LittleEndian.PutUint64(trailer[:8], w.off-start)
+	copy(trailer[8:], indexMagic)
+	n, err := w.bw.Write(trailer[:])
+	w.off += uint64(n)
+	return err
 }
 
 // Write serializes t to w in the current format.
@@ -151,18 +287,30 @@ func (t *Trace) Write(w io.Writer) error {
 // Err and Close once Next returns false.
 type FileSource struct {
 	br   *bufio.Reader
+	raw  io.Reader // what br wraps (needed to reset after a seek)
 	file io.Closer // underlying file when opened via Open
 
 	name string
 	prev int64
-	read uint64 // blocks delivered so far
+	read uint64 // blocks consumed from the stream (delivered or skipped)
 	done bool
 	err  error
 
 	v1        bool
 	remaining uint64 // v1: blocks left in the trace; v2: in the current chunk
-	insts     uint64 // v1: from the header; v2: from the footer once read
+	insts     uint64 // v1: from the header; v2: from the footer (or index)
 	exact     bool
+
+	// Skip support: the bound program supplies block lengths, the index
+	// (when the file carries one) supplies seek targets, and the pending
+	// slot holds one decoded-but-undelivered block (Skip peeks at the
+	// boundary block without consuming it).
+	prog        *cfg.Program
+	instsRead   uint64 // CFG insts consumed, maintained once prog is bound
+	pending     cfg.BlockID
+	havePending bool
+	index       *chunkIndex
+	seeker      io.Seeker
 }
 
 // NewReader reads the trace header from r and returns a streaming source
@@ -173,7 +321,7 @@ func NewReader(r io.Reader) (*FileSource, error) {
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	s := &FileSource{br: br}
+	s := &FileSource{br: br, raw: r}
 	switch string(got) {
 	case magicV2:
 	case magicV1:
@@ -211,22 +359,223 @@ func NewReader(r io.Reader) (*FileSource, error) {
 }
 
 // Open opens a trace file as a streaming source; Close closes the file.
+// When the file carries a chunk index (written by an index-bound Writer)
+// the source is seekable — Skip jumps by chunk instead of decoding
+// linearly — and the totals are exact immediately. Footer-less legacy
+// files still replay and Skip, linearly.
 func Open(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	idx := tryReadIndex(f) // uses ReadAt only: the read offset stays at 0
 	s, err := NewReader(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	s.file = f
+	s.seeker = f
+	if idx != nil && !s.v1 {
+		s.index = idx
+		s.insts = idx.totalInsts
+		s.exact = true
+	}
 	return s, nil
 }
 
-// Next decodes and returns the next block of the trace.
+// tryReadIndex probes f for the trailing chunk index. Any shortfall —
+// file too small, missing magic, malformed section — yields nil: the file
+// is then treated as index-less and skipped linearly, never failed.
+func tryReadIndex(f *os.File) *chunkIndex {
+	st, err := f.Stat()
+	if err != nil {
+		return nil
+	}
+	size := st.Size()
+	if size < 16 {
+		return nil
+	}
+	var trailer [16]byte
+	if _, err := f.ReadAt(trailer[:], size-16); err != nil {
+		return nil
+	}
+	if string(trailer[8:]) != indexMagic {
+		return nil
+	}
+	secLen := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if secLen <= 0 || secLen > size-16 {
+		return nil
+	}
+	buf := make([]byte, secLen)
+	if _, err := f.ReadAt(buf, size-16-secLen); err != nil {
+		return nil
+	}
+	return parseIndex(buf, uint64(size))
+}
+
+// parseIndex decodes the index section; nil on any inconsistency.
+func parseIndex(buf []byte, fileSize uint64) *chunkIndex {
+	r := bytes.NewReader(buf)
+	uv := func() (uint64, bool) {
+		v, err := binary.ReadUvarint(r)
+		return v, err == nil
+	}
+	ix := &chunkIndex{}
+	var n uint64
+	var ok bool
+	if ix.totalInsts, ok = uv(); !ok {
+		return nil
+	}
+	if ix.totalBlocks, ok = uv(); !ok {
+		return nil
+	}
+	if n, ok = uv(); !ok || n > ix.totalBlocks/chunkBlocks+1 || n > uint64(len(buf)) {
+		return nil
+	}
+	ix.entries = make([]chunkRef, 0, n)
+	var last chunkRef
+	for i := uint64(0); i < n; i++ {
+		var d [3]uint64
+		for j := range d {
+			if d[j], ok = uv(); !ok {
+				return nil
+			}
+		}
+		pd, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil
+		}
+		last = chunkRef{
+			off:    last.off + d[0],
+			blocks: last.blocks + d[1],
+			insts:  last.insts + d[2],
+			prev:   last.prev + pd,
+		}
+		if last.off >= fileSize || last.blocks > ix.totalBlocks || last.insts > ix.totalInsts {
+			return nil
+		}
+		ix.entries = append(ix.entries, last)
+	}
+	return ix
+}
+
+// Bind associates the program the trace was recorded against, giving the
+// source the per-block instruction counts Skip needs. Bind before the
+// first Next or Skip.
+func (s *FileSource) Bind(p *cfg.Program) { s.prog = p }
+
+// Seekable reports whether Skip can seek (an indexed file opened from
+// disk) rather than decode linearly.
+func (s *FileSource) Seekable() bool { return s.index != nil && s.seeker != nil }
+
+// TotalBlocks returns the trace's block count and whether it is exact
+// before EOF (legacy headers and indexed files know it up front).
+func (s *FileSource) TotalBlocks() (uint64, bool) {
+	switch {
+	case s.index != nil:
+		return s.index.totalBlocks, true
+	case s.v1:
+		return s.read + s.remaining, true
+	default:
+		return s.read, s.done && s.err == nil
+	}
+}
+
+// blockInsts returns the CFG instruction count of id under the bound
+// program, failing the stream on a block outside it.
+func (s *FileSource) blockInsts(id cfg.BlockID) (uint64, bool) {
+	if int(id) >= len(s.prog.Blocks) {
+		s.done = true
+		s.err = fmt.Errorf("trace: block %d outside the bound program (%d blocks)", id, len(s.prog.Blocks))
+		return 0, false
+	}
+	return uint64(s.prog.Blocks[id].NInsts), true
+}
+
+// Skip fast-forwards past whole blocks totalling at most n instructions.
+// With an index the skip seeks to the last chunk boundary at or before
+// the target and decodes the remainder; without one (legacy formats,
+// plain readers) it decodes and discards linearly. Requires Bind.
+func (s *FileSource) Skip(n uint64) (uint64, error) {
+	if s.done || n == 0 {
+		return 0, s.err
+	}
+	if s.prog == nil {
+		return 0, errors.New("trace: FileSource.Skip needs a program (Bind)")
+	}
+	start := s.instsRead
+	target := satAdd(start, n)
+	if s.index != nil && s.seeker != nil && !s.havePending {
+		if e := s.index.find(target); e != nil && e.blocks > s.read {
+			if _, err := s.seeker.Seek(int64(e.off), io.SeekStart); err != nil {
+				s.done = true
+				s.err = fmt.Errorf("trace: seeking chunk at offset %d: %w", e.off, err)
+				return 0, s.err
+			}
+			s.br.Reset(s.raw)
+			s.prev = e.prev
+			s.read = e.blocks
+			s.instsRead = e.insts
+			s.remaining = 0
+		}
+	}
+	for {
+		id, ok := s.peek()
+		if !ok {
+			break
+		}
+		ni, ok := s.blockInsts(id)
+		if !ok {
+			break
+		}
+		if satAdd(s.instsRead, ni) > target {
+			break
+		}
+		s.havePending = false
+		s.instsRead += ni
+	}
+	return s.instsRead - start, s.err
+}
+
+// peek decodes the next block without consuming it.
+func (s *FileSource) peek() (cfg.BlockID, bool) {
+	if !s.havePending {
+		id, ok := s.decode()
+		if !ok {
+			return cfg.NoBlock, false
+		}
+		s.pending, s.havePending = id, true
+	}
+	return s.pending, true
+}
+
+// Next returns the next block of the trace.
 func (s *FileSource) Next() (cfg.BlockID, bool) {
+	if s.havePending {
+		s.havePending = false
+		if s.prog != nil {
+			if ni, ok := s.blockInsts(s.pending); ok {
+				s.instsRead += ni
+			} else {
+				return cfg.NoBlock, false
+			}
+		}
+		return s.pending, true
+	}
+	id, ok := s.decode()
+	if ok && s.prog != nil {
+		var ni uint64
+		if ni, ok = s.blockInsts(id); !ok {
+			return cfg.NoBlock, false
+		}
+		s.instsRead += ni
+	}
+	return id, ok
+}
+
+// decode reads and returns the next block record from the stream.
+func (s *FileSource) decode() (cfg.BlockID, bool) {
 	if s.done {
 		return cfg.NoBlock, false
 	}

@@ -1,0 +1,245 @@
+// Interval windows over trace sources: the unit of parallelism for sharded
+// simulation. An IntervalSource restricts an underlying source to one
+// contiguous instruction range of the trace, preceded by up to two lead-in
+// regions the simulator treats specially:
+//
+//   - a functional-warming prefix (FuncWarm): every block before the timing
+//     warmup, delivered flagged so the consumer can replay cache and
+//     address-generator state through it without simulating timing;
+//   - a timing warmup (Warmup): blocks simulated normally but with counters
+//     frozen, training predictors and pipeline state.
+//
+// Without functional warming the prefix is skipped outright (Skip seeks
+// through indexed trace files, or fast-forwards the CFG walk).
+//
+// Interval boundaries snap to whole blocks with the same maximal-prefix
+// rule Skip uses, so the measured windows of consecutive intervals tile the
+// trace exactly: every block lands in the measured region of exactly one
+// interval, whatever the shard count.
+package trace
+
+import (
+	"fmt"
+
+	"streamfetch/internal/cfg"
+)
+
+// Region classifies a delivered block's role within an interval.
+type Region uint8
+
+const (
+	// RegionMeasure blocks are the interval's payload: simulated and
+	// counted.
+	RegionMeasure Region = iota
+	// RegionWarm blocks are the timing-warmup lead-in: simulated with
+	// counters frozen.
+	RegionWarm
+	// RegionFuncWarm blocks precede the timing warmup: delivered only so
+	// the consumer can warm state functionally, never simulated.
+	RegionFuncWarm
+)
+
+// IntervalConfig describes one interval of a trace.
+type IntervalConfig struct {
+	// Start and End bound the measure window in CFG-level instructions
+	// (End 0 = to the trace's end).
+	Start, End uint64
+	// Warmup is the timing-warmup lead-in length in instructions.
+	Warmup uint64
+	// FuncWarm delivers the entire prefix before the timing warmup
+	// flagged RegionFuncWarm instead of skipping it, so the consumer can
+	// replay cache and address-generator state through it — the accuracy
+	// mode for mid-trace intervals. When false the prefix is skipped.
+	FuncWarm bool
+}
+
+// IntervalSource is a Source delivering one instruction interval of an
+// underlying trace, with lead-in regions flagged per block (LastRegion).
+// It is built by NewInterval and consumed like any other source.
+type IntervalSource struct {
+	src  Source
+	prog *cfg.Program
+
+	pos      uint64 // absolute CFG-inst position of the next block
+	warmFrom uint64 // absolute position where the timing warmup starts
+	fwarm    bool
+
+	measureAt uint64 // absolute position where measurement starts
+	end       uint64 // absolute limit (0 = to the trace's end)
+
+	skipped  uint64 // insts jumped over before delivery began
+	fwarmed  uint64 // insts delivered flagged for functional warming
+	warm     uint64 // insts delivered as timing-warmup lead-in
+	measured uint64 // insts delivered inside the measure window
+
+	pending    cfg.BlockID
+	pendingOK  bool
+	lastRegion Region
+	done       bool
+	err        error
+}
+
+// NewInterval positions src at the head of the interval c describes. src
+// must be fresh (positioned at the trace's head); it is bound to p for
+// block lengths, and the interval owns it: closing the interval closes it.
+func NewInterval(src Source, p *cfg.Program, c IntervalConfig) (*IntervalSource, error) {
+	if b, ok := src.(interface{ Bind(*cfg.Program) }); ok {
+		b.Bind(p)
+	}
+	warmFrom := uint64(0)
+	if c.Start > c.Warmup {
+		warmFrom = c.Start - c.Warmup
+	}
+	s := &IntervalSource{
+		src:       src,
+		prog:      p,
+		warmFrom:  warmFrom,
+		fwarm:     c.FuncWarm,
+		measureAt: c.Start,
+		end:       c.End,
+	}
+	if !c.FuncWarm {
+		skipped, err := src.Skip(warmFrom)
+		if err != nil {
+			return nil, fmt.Errorf("trace: skipping to interval at %d: %w", warmFrom, err)
+		}
+		s.pos, s.skipped = skipped, skipped
+	}
+	return s, nil
+}
+
+// peekLen stages the next block and returns its instruction count.
+func (s *IntervalSource) peekLen() (uint64, bool) {
+	if s.done {
+		return 0, false
+	}
+	if !s.pendingOK {
+		id, ok := s.src.Next()
+		if !ok {
+			s.done = true
+			return 0, false
+		}
+		if int(id) < 0 || int(id) >= len(s.prog.Blocks) {
+			s.done = true
+			s.err = fmt.Errorf("trace: block %d outside the bound program (%d blocks)",
+				id, len(s.prog.Blocks))
+			return 0, false
+		}
+		s.pending, s.pendingOK = id, true
+	}
+	return uint64(s.prog.Blocks[s.pending].NInsts), true
+}
+
+// region classifies the block of length ni at the current position.
+func (s *IntervalSource) region(ni uint64) Region {
+	switch {
+	case s.fwarm && s.pos+ni <= s.warmFrom:
+		return RegionFuncWarm
+	case s.pos+ni <= s.measureAt:
+		return RegionWarm
+	default:
+		return RegionMeasure
+	}
+}
+
+// consume delivers the staged block of length ni.
+func (s *IntervalSource) consume(ni uint64) cfg.BlockID {
+	s.lastRegion = s.region(ni)
+	s.pos += ni
+	switch s.lastRegion {
+	case RegionFuncWarm:
+		s.fwarmed += ni
+	case RegionWarm:
+		s.warm += ni
+	default:
+		s.measured += ni
+	}
+	s.pendingOK = false
+	return s.pending
+}
+
+// Next returns the next block of the interval: the lead-in regions first,
+// then the measured window. It ends before the first block that would
+// cross the interval's end boundary.
+func (s *IntervalSource) Next() (cfg.BlockID, bool) {
+	ni, ok := s.peekLen()
+	if !ok {
+		return cfg.NoBlock, false
+	}
+	if s.end > 0 && s.pos+ni > s.end {
+		s.done = true
+		return cfg.NoBlock, false
+	}
+	return s.consume(ni), true
+}
+
+// Skip fast-forwards within the interval (maximal whole-block prefix of at
+// most n instructions), never past its end boundary.
+func (s *IntervalSource) Skip(n uint64) (uint64, error) {
+	start := s.pos
+	target := satAdd(start, n)
+	for {
+		ni, ok := s.peekLen()
+		if !ok {
+			break
+		}
+		if s.end > 0 && s.pos+ni > s.end {
+			break // boundary block: leave it for Next to refuse
+		}
+		if satAdd(s.pos, ni) > target {
+			break
+		}
+		s.consume(ni)
+	}
+	return s.pos - start, s.err
+}
+
+// LastRegion reports which region the block most recently returned by
+// Next belongs to.
+func (s *IntervalSource) LastRegion() Region { return s.lastRegion }
+
+// LastWarm reports whether the block most recently returned by Next lies
+// in the timing-warmup lead-in.
+func (s *IntervalSource) LastWarm() bool { return s.lastRegion == RegionWarm }
+
+// WarmupPending reports whether any lead-in (functional or timing) remains
+// ahead of the current position; once it returns false every further block
+// is measured. It peeks the next block: lead-in blocks are a strict
+// prefix, so lead-in remains exactly when the next block ends at or before
+// the measure boundary.
+func (s *IntervalSource) WarmupPending() bool {
+	ni, ok := s.peekLen()
+	return ok && s.region(ni) != RegionMeasure
+}
+
+// SkippedInsts returns the instructions jumped over before delivery began.
+func (s *IntervalSource) SkippedInsts() uint64 { return s.skipped }
+
+// FuncWarmedInsts returns the instructions delivered flagged for
+// functional warming so far.
+func (s *IntervalSource) FuncWarmedInsts() uint64 { return s.fwarmed }
+
+// WarmupInsts returns the instructions delivered as timing-warmup lead-in
+// so far.
+func (s *IntervalSource) WarmupInsts() uint64 { return s.warm }
+
+// MeasuredInsts returns the instructions delivered inside the measure
+// window so far.
+func (s *IntervalSource) MeasuredInsts() uint64 { return s.measured }
+
+// Name returns the underlying trace's benchmark name.
+func (s *IntervalSource) Name() string { return s.src.Name() }
+
+// TotalInsts reports the underlying trace's total, not the interval's:
+// callers sizing the interval use MeasuredInsts/WarmupInsts instead.
+func (s *IntervalSource) TotalInsts() (uint64, bool) { return s.src.TotalInsts() }
+
+// Close closes the underlying source and surfaces any decode or
+// consistency error from the interval walk.
+func (s *IntervalSource) Close() error {
+	err := s.src.Close()
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}

@@ -13,7 +13,12 @@
 //     Trace.Source) for tests and profiles that already hold a trace.
 package trace
 
-import "streamfetch/internal/cfg"
+import (
+	"errors"
+	"sort"
+
+	"streamfetch/internal/cfg"
+)
 
 // Source supplies a dynamic basic-block sequence incrementally. Sources are
 // single-use forward iterators: once exhausted they stay exhausted, and a
@@ -23,19 +28,39 @@ type Source interface {
 	// Next returns the next executed block; ok is false once the trace is
 	// exhausted.
 	Next() (id cfg.BlockID, ok bool)
+	// Skip fast-forwards the source past the maximal prefix of its
+	// remaining whole blocks whose cumulative CFG-level instruction count
+	// does not exceed n, returning the count actually skipped (less than
+	// n when the boundary block would cross it, or when the trace ends
+	// first). Blocks are never split: after Skip, Next delivers the block
+	// containing instruction offset skipped. Skipping past EOF exhausts
+	// the source and returns the instructions that remained. File- and
+	// slice-backed sources need a program bound (Bind) for the per-block
+	// instruction counts; an indexed trace file seeks, everything else
+	// fast-forwards linearly without layout expansion or simulation.
+	Skip(n uint64) (skipped uint64, err error)
 	// Name returns the benchmark name the trace records.
 	Name() string
 	// TotalInsts returns the trace's CFG-level instruction count and
 	// whether it is exact. Sources that know their full length up front
-	// (in-memory traces, file headers) report it immediately; streamed
-	// sources report a running or unknown count (exact only once the
-	// stream is exhausted, and 0 for formats that carry no running
-	// count).
+	// (in-memory traces, file headers, indexed files) report it
+	// immediately; streamed sources report a running or unknown count
+	// (exact only once the stream is exhausted, and 0 for formats that
+	// carry no running count).
 	TotalInsts() (n uint64, exact bool)
 	// Close releases any resources held by the source and reports any
 	// decode error encountered while streaming. Close on generator- and
 	// slice-backed sources is a no-op.
 	Close() error
+}
+
+// satAdd returns a+b, saturating at the maximum uint64 instead of wrapping
+// (Skip targets are offsets and ^uint64(0) means "to the end").
+func satAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return ^uint64(0)
 }
 
 // GenSource produces the block sequence on the fly from a seeded CFG walk,
@@ -73,6 +98,31 @@ func (s *GenSource) Next() (cfg.BlockID, bool) {
 	return id, ok
 }
 
+// Skip fast-forwards the seeded CFG walk without layout expansion: blocks
+// are stepped, not simulated, so skipping is an order of magnitude cheaper
+// than simulating the same prefix. The generation budget (MaxInsts) applies
+// to skipped instructions exactly as it does to emitted ones.
+func (s *GenSource) Skip(n uint64) (uint64, error) {
+	start := s.g.Insts()
+	target := satAdd(start, n)
+	for !s.done {
+		if s.g.Insts() >= s.max {
+			s.done = true
+			break
+		}
+		ni, ok := s.g.PeekInsts()
+		if !ok {
+			s.done = true
+			break
+		}
+		if satAdd(s.g.Insts(), uint64(ni)) > target {
+			break
+		}
+		s.g.Next()
+	}
+	return s.g.Insts() - start, nil
+}
+
 // Name returns the program name.
 func (s *GenSource) Name() string { return s.name }
 
@@ -89,6 +139,9 @@ type SliceSource struct {
 	blocks []cfg.BlockID
 	insts  uint64
 	i      int
+
+	prog   *cfg.Program
+	prefix []uint64 // prefix[i] = CFG insts before block i; built on first Skip
 }
 
 // NewSliceSource wraps an existing block slice as a source. The slice is
@@ -110,6 +163,43 @@ func (s *SliceSource) Next() (cfg.BlockID, bool) {
 	id := s.blocks[s.i]
 	s.i++
 	return id, true
+}
+
+// Bind associates the program the trace was recorded against, giving the
+// source the per-block instruction counts Skip needs.
+func (s *SliceSource) Bind(p *cfg.Program) {
+	if p != s.prog {
+		s.prog, s.prefix = p, nil
+	}
+}
+
+// Skip jumps the iterator forward by prefix-summed block lengths: the
+// prefix-sum table is built once on first use, then every skip is a binary
+// search plus an index assignment.
+func (s *SliceSource) Skip(n uint64) (uint64, error) {
+	if s.i >= len(s.blocks) || n == 0 {
+		return 0, nil
+	}
+	if s.prog == nil {
+		return 0, errors.New("trace: SliceSource.Skip needs a program (Bind)")
+	}
+	if s.prefix == nil {
+		s.prefix = make([]uint64, len(s.blocks)+1)
+		for i, id := range s.blocks {
+			if int(id) < 0 || int(id) >= len(s.prog.Blocks) {
+				s.prefix = nil
+				return 0, errors.New("trace: block ID outside the bound program")
+			}
+			s.prefix[i+1] = s.prefix[i] + uint64(s.prog.Blocks[id].NInsts)
+		}
+	}
+	target := satAdd(s.prefix[s.i], n)
+	// The largest boundary j with prefix[j] <= target; j >= s.i because
+	// prefix[s.i] <= target.
+	j := sort.Search(len(s.prefix), func(k int) bool { return s.prefix[k] > target }) - 1
+	skipped := s.prefix[j] - s.prefix[s.i]
+	s.i = j
+	return skipped, nil
 }
 
 // Name returns the benchmark name.

@@ -110,6 +110,15 @@ func (g *Generator) Next() (id cfg.BlockID, ok bool) {
 // Insts returns the CFG-level instruction count emitted so far.
 func (g *Generator) Insts() uint64 { return g.insts }
 
+// PeekInsts returns the instruction count of the block Next would emit,
+// without advancing the walk; ok is false once the program has terminated.
+func (g *Generator) PeekInsts() (int, bool) {
+	if g.cur == cfg.NoBlock {
+		return 0, false
+	}
+	return g.prog.Blocks[g.cur].NInsts, true
+}
+
 // step evaluates the terminating branch of b and returns the next block.
 func (g *Generator) step(b *cfg.Block) cfg.BlockID {
 	switch b.Branch {

@@ -80,6 +80,42 @@ func WithTrace(tr *trace.Trace) Option {
 	return func(s *Session) { s.traceData = tr }
 }
 
+// WithShards splits the run into n contiguous trace intervals simulated
+// independently — in parallel up to the process-wide worker budget — and
+// merged into one report (default 1: a single sequential run). By default
+// each mid-trace shard functionally warms its prefix (caches and address
+// generators replay at decode speed, no pipeline), so merged figures track
+// a single-shot run closely; pair with WithWarmup to also train predictors
+// before each measure window. WithColdShards skips the prefix instead —
+// seeking through an indexed trace file (see cmd/tracegen) or
+// fast-forwarding the seeded CFG walk — for O(interval) work per shard at
+// the cost of cold-start bias.
+func WithShards(n int) Option {
+	return func(s *Session) { s.shards = n }
+}
+
+// WithWarmup prepends roughly this many instructions of warmup lead-in to
+// every mid-trace shard (snapped to whole blocks): caches and predictors
+// train on the lead-in while every counter stays frozen, and measurement
+// starts exactly at the shard's interval boundary. Shard 0 starts at the
+// trace head and needs no lead-in. Ignored for unsharded runs.
+func WithWarmup(insts uint64) Option {
+	return func(s *Session) { s.warmup = insts }
+}
+
+// WithColdShards disables functional warming in sharded runs: instead of
+// replaying each shard's prefix through the caches and address generators
+// at decode speed, shards skip straight to their intervals — seeking
+// through the trace file's chunk index when it has one, or fast-forwarding
+// the seeded CFG walk — and start cold except for the WithWarmup lead-in.
+// This is the speed-maximal mode: per-shard work drops to O(interval), at
+// the cost of cold-start bias in cycle-derived figures (the 1MB L2 in
+// particular warms far slower than any practical WithWarmup covers).
+// Instruction and branch counts still merge losslessly.
+func WithColdShards() Option {
+	return func(s *Session) { s.coldShards = true }
+}
+
 // WithICacheLineBytes overrides the L1 instruction cache line size,
 // keeping the rest of the Table-2 hierarchy (the Figure-7 misalignment
 // sweeps; default is 4x the pipe width in instructions).

@@ -60,6 +60,33 @@ type Report struct {
 	ICache CacheReport `json:"icache"`
 	DCache CacheReport `json:"dcache"`
 	L2     CacheReport `json:"l2"`
+
+	// Sharded runs only (WithShards > 1): the interval count, the
+	// requested per-interval warmup, and one row per simulated interval.
+	// The top-level counters are the merged totals; cycle-derived figures
+	// aggregate as merged retired over merged cycles.
+	Shards      int              `json:"shards,omitempty"`
+	WarmupInsts uint64           `json:"warmup_insts,omitempty"`
+	Intervals   []IntervalReport `json:"intervals,omitempty"`
+}
+
+// IntervalReport is one trace interval of a sharded run.
+type IntervalReport struct {
+	Index int `json:"index"`
+	// StartInsts is the measure-window start position in CFG-level trace
+	// instructions; Insts is the window's measured length and WarmupInsts
+	// the lead-in actually delivered (block-snapped, so it can exceed the
+	// request by less than one block; 0 for the head interval).
+	StartInsts  uint64 `json:"start_insts"`
+	Insts       uint64 `json:"insts"`
+	WarmupInsts uint64 `json:"warmup_insts"`
+
+	Cycles         uint64  `json:"cycles"`
+	Retired        uint64  `json:"retired"`
+	IPC            float64 `json:"ipc"`
+	MispredRate    float64 `json:"mispred_rate"`
+	FetchIPC       float64 `json:"fetch_ipc"`
+	ICacheMissRate float64 `json:"icache_miss_rate"`
 }
 
 // newReport lifts a sim.Result into the public report shape. traceInsts is

@@ -93,6 +93,12 @@ type Progress struct {
 	Retired uint64
 	Total   uint64
 	Cycles  uint64
+	// Shard identifies the reporting trace interval of a sharded run and
+	// Shards the interval count; both are 0 for unsharded runs. Retired
+	// and Cycles then cover the reporting shard only, while Total remains
+	// the logical run's target. Sharded callbacks arrive concurrently.
+	Shard  int
+	Shards int
 }
 
 // prepared caches the expensive artifacts a session builds once and reuses
@@ -124,6 +130,9 @@ type Session struct {
 	lineBytes  int
 	traceFile  string
 	traceData  *trace.Trace
+	shards     int
+	warmup     uint64
+	coldShards bool
 
 	progressEvery uint64
 	onProgress    func(Progress)
@@ -318,7 +327,8 @@ func (s *Session) Run(ctx context.Context) (*Report, error) {
 // RunWith executes one simulation with per-run option overrides, sharing
 // the session's prepared artifacts. Overriding a preparation-phase option
 // (benchmark, seeds, instruction counts, trace file) re-prepares for that
-// run only.
+// run only. With WithShards(n > 1) in effect the run executes as n
+// parallel trace intervals merged into one report (see RunSharded).
 func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -334,6 +344,9 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	if run.key() != before {
 		run.prep = &prepared{}
 	}
+	if run.shards > 1 {
+		return run.runSharded(ctx)
+	}
 	if err := run.validate(); err != nil {
 		return nil, err
 	}
@@ -347,17 +360,6 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	}
 	defer src.Close()
 
-	cfg := sim.Config{
-		Width:            run.width,
-		Engine:           run.engine,
-		EngineOptions:    run.engineOpts,
-		MaxInsts:         run.maxInsts,
-		ProgressInterval: run.progressEvery,
-	}
-	if run.lineBytes > 0 {
-		cfg.Hier = cache.DefaultHierarchy(run.width)
-		cfg.Hier.ICache.LineBytes = run.lineBytes
-	}
 	// The run target: exact when the source knows its length up front,
 	// the generation budget for seeded runs, 0 (unknown until EOF) for
 	// streamed replays.
@@ -370,24 +372,7 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	if run.maxInsts > 0 && (total == 0 || run.maxInsts < total) {
 		total = run.maxInsts
 	}
-	cb := run.onProgress
-	cfg.OnProgress = func(retired, cycles uint64) bool {
-		if ctx.Err() != nil {
-			return false
-		}
-		if cb != nil {
-			cb(Progress{
-				Benchmark: run.benchmark,
-				Engine:    run.engine,
-				Layout:    lay.Name,
-				Width:     run.width,
-				Retired:   retired,
-				Total:     total,
-				Cycles:    cycles,
-			})
-		}
-		return true
-	}
+	cfg := run.simConfig(ctx, lay, run.maxInsts, total, 0, 0)
 
 	proc, err := sim.New(lay, src, cfg)
 	if err != nil {
@@ -399,18 +384,58 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 		// surface it instead of reporting a silently truncated run.
 		return nil, fmt.Errorf("streamfetch: reading trace %s: %w", run.traceFile, err)
 	}
-	seed := run.seed
-	if run.traceFile != "" || run.traceData != nil {
-		// A replayed trace was not generated from the session seed;
-		// don't attribute it to one.
-		seed = 0
-	}
 	traceInsts, _ := src.TotalInsts()
-	rep := newReport(run.benchmark, lay, traceInsts, seed, res)
+	rep := newReport(run.benchmark, lay, traceInsts, run.reportSeed(), res)
 	if res.Aborted {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
 	}
 	return rep, nil
+}
+
+// simConfig assembles the simulator configuration for one run (shard and
+// shards are 0) or one shard of a sharded run.
+func (s *Session) simConfig(ctx context.Context, lay *layout.Layout, maxInsts, total uint64, shard, shards int) sim.Config {
+	cfg := sim.Config{
+		Width:            s.width,
+		Engine:           s.engine,
+		EngineOptions:    s.engineOpts,
+		MaxInsts:         maxInsts,
+		ProgressInterval: s.progressEvery,
+	}
+	if s.lineBytes > 0 {
+		cfg.Hier = cache.DefaultHierarchy(s.width)
+		cfg.Hier.ICache.LineBytes = s.lineBytes
+	}
+	cb := s.onProgress
+	cfg.OnProgress = func(retired, cycles uint64) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if cb != nil {
+			cb(Progress{
+				Benchmark: s.benchmark,
+				Engine:    s.engine,
+				Layout:    lay.Name,
+				Width:     s.width,
+				Retired:   retired,
+				Total:     total,
+				Cycles:    cycles,
+				Shard:     shard,
+				Shards:    shards,
+			})
+		}
+		return true
+	}
+	return cfg
+}
+
+// reportSeed returns the seed a report should carry: a replayed trace was
+// not generated from the session seed, so it is not attributed to one.
+func (s *Session) reportSeed() uint64 {
+	if s.traceFile != "" || s.traceData != nil {
+		return 0
+	}
+	return s.seed
 }

@@ -1,0 +1,257 @@
+// Sharded session runs: one logical simulation executed as N independent
+// trace intervals simulated in parallel and merged. Sharding is what makes
+// paper-scale sweeps (hundreds of benchmark × engine × width × layout
+// cells over 100M+-instruction traces) wall-clock-bounded by hardware
+// rather than by one sequential instruction stream: each interval skips to
+// its start (seeking through the trace-file chunk index, or fast-forwarding
+// the seeded CFG walk), optionally warms caches and predictors on a
+// counters-frozen lead-in, measures exactly its window, and the mergeable
+// counter blocks combine into one Report.
+//
+// Accuracy: interval boundaries snap to whole blocks and tile the trace
+// exactly, so instruction/branch counts merge losslessly; cycle-derived
+// figures (IPC, miss rates) carry cold-start error at each interval head,
+// which warmup shrinks. shards=1 with no warmup is byte-identical to a
+// plain Run.
+package streamfetch
+
+import (
+	"context"
+	"fmt"
+
+	"streamfetch/internal/cfg"
+	"streamfetch/internal/layout"
+	"streamfetch/internal/par"
+	"streamfetch/internal/sim"
+	"streamfetch/internal/trace"
+)
+
+// RunSharded executes the session as WithShards configures it — even for
+// shards=1, where it runs the single interval through the sharding path
+// and produces a report byte-identical to Run. RunWith with a WithShards
+// override dispatches here, so most callers never call it directly. The
+// context cancels in-flight shards; on cancellation the merged partial
+// report (completed shards only, Aborted set) is returned with ctx.Err().
+func (s *Session) RunSharded(ctx context.Context, opts ...Option) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	run := *s
+	before := run.key()
+	for _, o := range opts {
+		o(&run)
+	}
+	if run.key() != before {
+		run.prep = &prepared{}
+	}
+	return run.runSharded(ctx)
+}
+
+// shardOut is one interval's outcome.
+type shardOut struct {
+	res      sim.Result
+	start    uint64 // nominal measure-window start (CFG insts)
+	measured uint64
+	warm     uint64
+}
+
+func (s *Session) runSharded(ctx context.Context) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	nshards := s.shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	lay, err := s.ensure(ctx, s.layoutName)
+	if err != nil {
+		return nil, err
+	}
+	prog := s.prep.prog
+
+	total, err := s.traceTotal(prog)
+	if err != nil {
+		return nil, err
+	}
+	// WithMaxInstructions truncates the logical run: partition only its
+	// prefix. The cap is in CFG instructions here (trace position), which
+	// tracks the unsharded retired-instruction cap to within the layout's
+	// materialized jumps.
+	partTotal := total
+	if s.maxInsts > 0 && s.maxInsts < partTotal {
+		partTotal = s.maxInsts
+	}
+	if uint64(nshards) > partTotal {
+		// Never more shards than instructions; in particular a trace
+		// whose declared total is 0 (but which may still deliver blocks)
+		// runs as one unbounded interval rather than N full copies.
+		nshards = int(partTotal)
+		if nshards < 1 {
+			nshards = 1
+		}
+	}
+
+	// Even instruction split: bounds[i] is shard i's measure-window start.
+	q, r := partTotal/uint64(nshards), partTotal%uint64(nshards)
+	bound := func(i int) uint64 {
+		b := uint64(i) * q
+		if uint64(i) < r {
+			return b + uint64(i)
+		}
+		return b + r
+	}
+
+	outs := make([]*shardOut, nshards)
+	runErr := par.Do(ctx, nshards, true, func(i int) error {
+		src, err := s.newSource(prog)
+		if err != nil {
+			return err
+		}
+		start := bound(i)
+		end := bound(i + 1)
+		if i == nshards-1 && partTotal == total {
+			// The last interval runs to the trace's end: a seeded
+			// generator may overshoot its budget by the crossing block,
+			// and file totals are then covered exactly.
+			end = 0
+		}
+		iv, err := trace.NewInterval(src, prog, trace.IntervalConfig{
+			Start:  start,
+			End:    end,
+			Warmup: s.warmup,
+			// By default mid-trace shards replay their prefix functionally
+			// (caches and address generators warm at decode speed), so
+			// measured memory behaviour matches a single-shot run closely.
+			// WithColdShards trades that accuracy for O(interval) work per
+			// shard: the prefix is skipped outright (seeking through an
+			// indexed trace file, or fast-forwarding the CFG walk).
+			FuncWarm: !s.coldShards,
+		})
+		if err != nil {
+			src.Close()
+			return err
+		}
+		cfg := s.simConfig(ctx, lay, 0, partTotal, i, nshards)
+		proc, err := sim.New(lay, iv, cfg)
+		if err != nil {
+			iv.Close()
+			return err
+		}
+		res := proc.Run()
+		if err := iv.Close(); err != nil {
+			return fmt.Errorf("streamfetch: shard %d reading trace: %w", i, err)
+		}
+		outs[i] = &shardOut{
+			res:      res,
+			start:    start,
+			measured: iv.MeasuredInsts(),
+			warm:     iv.WarmupInsts(),
+		}
+		return nil
+	})
+	rep := s.mergeShards(lay, nshards, outs)
+	if runErr != nil {
+		if rep == nil || ctx.Err() == nil {
+			return nil, runErr
+		}
+		rep.Aborted = true
+		return rep, runErr
+	}
+	if rep.Aborted {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// mergeShards combines completed intervals into one report (nil when none
+// completed). Event counters merge losslessly; aggregate IPC is the merged
+// retired count over the merged cycle count. For a single unwarmed
+// interval the merged report is exactly the plain run's report: no shard
+// fields, byte-identical JSON.
+func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut) *Report {
+	var agg sim.Counters
+	var traceInsts uint64
+	aborted := false
+	intervals := make([]IntervalReport, 0, len(outs))
+	done := 0
+	for i, o := range outs {
+		if o == nil {
+			continue
+		}
+		done++
+		agg.Merge(o.res.Counters)
+		traceInsts += o.measured
+		if o.res.Aborted {
+			aborted = true
+		}
+		intervals = append(intervals, IntervalReport{
+			Index:          i,
+			StartInsts:     o.start,
+			Insts:          o.measured,
+			WarmupInsts:    o.warm,
+			Cycles:         o.res.Cycles,
+			Retired:        o.res.Retired,
+			IPC:            o.res.IPC,
+			MispredRate:    o.res.MispredRate,
+			FetchIPC:       o.res.FetchIPC,
+			ICacheMissRate: o.res.ICache.MissRate(),
+		})
+	}
+	if done == 0 {
+		return nil
+	}
+	res := sim.Result{
+		Engine:   s.engine,
+		Width:    s.width,
+		Aborted:  aborted || done < len(outs),
+		Counters: agg,
+	}
+	res.IPC = agg.IPC()
+	res.MispredRate = agg.MispredRate()
+	res.FetchIPC = agg.Fetch.FetchIPC()
+	rep := newReport(s.benchmark, lay, traceInsts, s.reportSeed(), res)
+	if nshards > 1 {
+		rep.Shards = nshards
+		rep.WarmupInsts = s.warmup
+		rep.Intervals = intervals
+	}
+	return rep
+}
+
+// traceTotal returns the partition basis: the logical run's length in CFG
+// instructions. Exact for in-memory traces, seeded budgets, legacy headers
+// and indexed files; a footer-only trace file is pre-scanned once (a
+// decode-only pass, no simulation).
+func (s *Session) traceTotal(prog *cfg.Program) (uint64, error) {
+	switch {
+	case s.traceData != nil:
+		return s.traceData.Insts, nil
+	case s.traceFile != "":
+		src, err := trace.Open(s.traceFile)
+		if err != nil {
+			return 0, fmt.Errorf("streamfetch: opening trace %s: %w", s.traceFile, err)
+		}
+		if n, exact := src.TotalInsts(); exact {
+			src.Close()
+			return n, nil
+		}
+		src.Bind(prog)
+		n, err := src.Skip(^uint64(0))
+		if err == nil {
+			err = src.Close()
+		} else {
+			src.Close()
+		}
+		if err != nil {
+			return 0, fmt.Errorf("streamfetch: sizing trace %s: %w", s.traceFile, err)
+		}
+		return n, nil
+	default:
+		return s.insts, nil
+	}
+}

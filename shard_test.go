@@ -1,0 +1,210 @@
+package streamfetch_test
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamfetch"
+)
+
+// TestRunShardedSingleIdentical: RunSharded with shards=1 and no warmup
+// goes through the full sharding path (interval source, merge) yet
+// produces a report byte-identical to Run — pinned against the same golden
+// files (and case table) as the plain runner.
+func TestRunShardedSingleIdentical(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.engine+"/"+tc.layout, func(t *testing.T) {
+			t.Parallel()
+			rep, err := goldenSession(tc.engine, tc.layout).
+				RunSharded(context.Background(), streamfetch.WithShards(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertReportGolden(t, rep, tc.golden)
+		})
+	}
+}
+
+// TestRunShardedMergeInvariants: whatever the shard count, the measured
+// windows tile the trace — retired instructions, branches and
+// mispredictions merge losslessly — and with warmup the harmonic
+// aggregate IPC stays within 2% of the single-shot run.
+func TestRunShardedMergeInvariants(t *testing.T) {
+	const insts = 500_000
+	s := streamfetch.New("164.gzip",
+		streamfetch.WithWidth(8),
+		streamfetch.WithEngine("streams"),
+		streamfetch.WithOptimizedLayout(),
+		streamfetch.WithInstructions(insts),
+	)
+	ctx := context.Background()
+	single, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		rep, err := s.RunWith(ctx,
+			streamfetch.WithShards(shards),
+			streamfetch.WithWarmup(50_000),
+		)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if rep.Shards != shards || len(rep.Intervals) != shards {
+			t.Fatalf("shards=%d: report has Shards=%d, %d intervals",
+				shards, rep.Shards, len(rep.Intervals))
+		}
+		if rep.Retired != single.Retired {
+			t.Errorf("shards=%d: merged Retired %d, single %d",
+				shards, rep.Retired, single.Retired)
+		}
+		if rep.Branches != single.Branches {
+			t.Errorf("shards=%d: merged Branches %d, single %d",
+				shards, rep.Branches, single.Branches)
+		}
+		if rep.TraceInsts != single.TraceInsts {
+			t.Errorf("shards=%d: merged TraceInsts %d, single %d",
+				shards, rep.TraceInsts, single.TraceInsts)
+		}
+		var sumRetired uint64
+		for _, iv := range rep.Intervals {
+			sumRetired += iv.Retired
+			if iv.Index > 0 && iv.WarmupInsts == 0 {
+				t.Errorf("shards=%d: interval %d ran without warmup lead-in",
+					shards, iv.Index)
+			}
+		}
+		if sumRetired != rep.Retired {
+			t.Errorf("shards=%d: interval retired sum %d != merged %d",
+				shards, sumRetired, rep.Retired)
+		}
+		if diff := math.Abs(rep.IPC-single.IPC) / single.IPC; diff > 0.02 {
+			t.Errorf("shards=%d: merged IPC %.4f vs single %.4f (%.2f%% off)",
+				shards, rep.IPC, single.IPC, 100*diff)
+		}
+	}
+}
+
+// TestRunShardedTraceFile: sharding a replayed trace file (seekable via
+// the chunk index) merges to the same instruction totals as a sequential
+// replay of the same file.
+func TestRunShardedTraceFile(t *testing.T) {
+	ctx := context.Background()
+	gen := streamfetch.New("186.crafty", streamfetch.WithInstructions(300_000))
+	path := filepath.Join(t.TempDir(), "crafty.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.WriteTrace(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := streamfetch.New("186.crafty",
+		streamfetch.WithTraceFile(path),
+		streamfetch.WithEngine("ftb"),
+	)
+	single, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := s.RunWith(ctx,
+		streamfetch.WithShards(3), streamfetch.WithWarmup(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Retired != single.Retired || sharded.Branches != single.Branches {
+		t.Fatalf("file shards merged (retired %d, branches %d), single (%d, %d)",
+			sharded.Retired, sharded.Branches, single.Retired, single.Branches)
+	}
+	if sharded.Seed != 0 {
+		t.Fatalf("replayed sharded run attributed to seed %d", sharded.Seed)
+	}
+}
+
+// TestRunShardedDegenerateWindows: shard counts so high that many windows
+// are smaller than a basic block (and so, after block snapping, empty)
+// still merge losslessly — empty intervals contribute zero instead of
+// double-counting their lead-in as measured work.
+func TestRunShardedDegenerateWindows(t *testing.T) {
+	ctx := context.Background()
+	s := streamfetch.New("164.gzip", streamfetch.WithInstructions(1_000))
+	single, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunWith(ctx, streamfetch.WithShards(200), streamfetch.WithWarmup(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retired != single.Retired || rep.Branches != single.Branches {
+		t.Fatalf("degenerate shards merged (retired %d, branches %d), single (%d, %d)",
+			rep.Retired, rep.Branches, single.Retired, single.Branches)
+	}
+	// Cache accesses are cycle-behaviour quantities, not losslessly
+	// additive across tiny windows — but lead-in work must never be
+	// double-counted as measured (each shard replays up to the whole
+	// prefix, so double-counting would multiply the total).
+	if limit := single.ICache.Accesses + uint64(rep.Shards); rep.ICache.Accesses > limit {
+		t.Fatalf("degenerate shards merged %d icache accesses, single run made %d: lead-in counted as measured",
+			rep.ICache.Accesses, single.ICache.Accesses)
+	}
+}
+
+// TestRunShardedCold: WithColdShards skips shard prefixes (the seek path
+// for indexed trace files) instead of functionally warming through them;
+// instruction and branch counts still merge losslessly.
+func TestRunShardedCold(t *testing.T) {
+	ctx := context.Background()
+	gen := streamfetch.New("164.gzip", streamfetch.WithInstructions(300_000))
+	path := filepath.Join(t.TempDir(), "gzip.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := gen.WriteTrace(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Seekable {
+		t.Fatal("session-written trace carries no index")
+	}
+
+	s := streamfetch.New("164.gzip", streamfetch.WithTraceFile(path))
+	single, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.RunWith(ctx,
+		streamfetch.WithShards(4),
+		streamfetch.WithWarmup(20_000),
+		streamfetch.WithColdShards(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Retired != single.Retired || cold.Branches != single.Branches {
+		t.Fatalf("cold shards merged (retired %d, branches %d), single (%d, %d)",
+			cold.Retired, cold.Branches, single.Retired, single.Branches)
+	}
+}
+
+// TestRunShardedCancel: cancelling mid-run surfaces the context error.
+func TestRunShardedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := streamfetch.New("164.gzip").RunSharded(ctx, streamfetch.WithShards(2))
+	if err == nil {
+		t.Fatal("cancelled sharded run returned no error")
+	}
+}

@@ -120,8 +120,44 @@ func TestWriteTraceCancellation(t *testing.T) {
 	}
 }
 
+// TestWriteTraceForeignTraceIndexless: re-encoding a trace recorded for a
+// different benchmark must not write a seek index — the session's program
+// has the wrong block lengths, and wrong instruction offsets would corrupt
+// sharded seeks silently.
+func TestWriteTraceForeignTraceIndexless(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "gzip.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := New("164.gzip", WithInstructions(30_000)).WriteTrace(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !own.Seekable {
+		t.Fatal("native trace written without an index")
+	}
+	// A 176.gcc session replaying the gzip file re-encodes a trace named
+	// 164.gzip: block IDs may be in range of gcc's program by accident,
+	// so the name mismatch must disable the index.
+	var buf bytes.Buffer
+	foreign, err := New("176.gcc", WithTraceFile(path)).WriteTrace(ctx, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foreign.Seekable {
+		t.Fatal("foreign trace re-encoded with an index from the wrong program")
+	}
+}
+
 // TestInspectTraceRejectsTruncation: a trace cut off mid-stream (no footer)
-// must be reported as an error, not summarized as a short trace.
+// must be reported as an error, not summarized as a short trace. Clipping
+// only the trailing chunk index is harmless — the stream and footer are
+// intact — so the cut has to land inside the block stream itself.
 func TestInspectTraceRejectsTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	if _, err := New("164.gzip", WithInstructions(50_000)).WriteTrace(context.Background(), &buf); err != nil {
@@ -131,7 +167,7 @@ func TestInspectTraceRejectsTruncation(t *testing.T) {
 	if _, err := InspectTrace(bytes.NewReader(whole)); err != nil {
 		t.Fatalf("intact trace rejected: %v", err)
 	}
-	if _, err := InspectTrace(bytes.NewReader(whole[:len(whole)-3])); err == nil {
+	if _, err := InspectTrace(bytes.NewReader(whole[:len(whole)/2])); err == nil {
 		t.Fatal("truncated trace accepted")
 	}
 }

@@ -17,6 +17,10 @@ type TraceInfo struct {
 	Name   string `json:"name"`
 	Blocks uint64 `json:"blocks"`
 	Insts  uint64 `json:"insts"`
+	// Seekable reports whether the file carries the chunk index that
+	// lets sharded runs seek to an interval instead of decoding linearly
+	// (only known when inspecting a file by path).
+	Seekable bool `json:"seekable,omitempty"`
 }
 
 // MeanBlockLen returns the mean dynamic basic-block length in instructions
@@ -50,6 +54,17 @@ func (s *Session) WriteTrace(ctx context.Context, w io.Writer) (TraceInfo, error
 	if err != nil {
 		return TraceInfo{}, err
 	}
+	// Bind the benchmark program so the writer records the chunk index:
+	// the written file then supports seeking sharded replays. The index's
+	// instruction offsets come from the program's block lengths, so bind
+	// only when the trace actually records this session's benchmark — a
+	// foreign trace (replayed from another benchmark's file) is written
+	// index-less rather than with silently wrong offsets.
+	if src.Name() == s.benchmark {
+		if prog, perr := s.Program(); perr == nil {
+			tw.BindProgram(prog)
+		}
+	}
 	for {
 		if tw.Blocks()%writeTraceCheck == 0 {
 			if err := ctx.Err(); err != nil {
@@ -71,7 +86,12 @@ func (s *Session) WriteTrace(ctx context.Context, w io.Writer) (TraceInfo, error
 	if err := tw.Finish(insts); err != nil {
 		return TraceInfo{}, err
 	}
-	return TraceInfo{Name: src.Name(), Blocks: tw.Blocks(), Insts: insts}, nil
+	return TraceInfo{
+		Name:     src.Name(),
+		Blocks:   tw.Blocks(),
+		Insts:    insts,
+		Seekable: tw.Indexed(),
+	}, nil
 }
 
 // InspectTrace incrementally decodes a binary trace stream and returns its
@@ -80,6 +100,34 @@ func InspectTrace(r io.Reader) (TraceInfo, error) {
 	src, err := trace.NewReader(r)
 	if err != nil {
 		return TraceInfo{}, err
+	}
+	var blocks uint64
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		blocks++
+	}
+	if err := src.Err(); err != nil {
+		return TraceInfo{}, err
+	}
+	insts, _ := src.TotalInsts()
+	return TraceInfo{Name: src.Name(), Blocks: blocks, Insts: insts}, nil
+}
+
+// InspectTraceFile summarizes a trace file by path, reporting whether it is
+// seekable. An indexed file answers from the index without decoding the
+// stream; anything else decodes once, like InspectTrace.
+func InspectTraceFile(path string) (TraceInfo, error) {
+	src, err := trace.Open(path)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	defer src.Close()
+	if src.Seekable() {
+		insts, _ := src.TotalInsts()
+		blocks, _ := src.TotalBlocks()
+		return TraceInfo{Name: src.Name(), Blocks: blocks, Insts: insts, Seekable: true}, nil
 	}
 	var blocks uint64
 	for {
