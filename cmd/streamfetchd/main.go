@@ -1,0 +1,84 @@
+// Command streamfetchd serves the streamfetch simulation pipeline as a
+// concurrent HTTP/JSON service: clients submit runs and grid sweeps,
+// poll job status and progress, fetch final reports, and cancel jobs.
+// Sessions are cached across requests, so repeated configurations skip
+// workload, profile and layout preparation; the worker pool shares the
+// process-wide simulation budget with intra-job shard workers, so
+// concurrent jobs never oversubscribe the machine.
+//
+// Usage:
+//
+//	streamfetchd [-addr :8329] [-queue 64] [-workers 0] [-drain 60s]
+//
+// Endpoints (see the streamfetch package docs and README for bodies):
+//
+//	POST   /v1/runs       submit one simulation
+//	POST   /v1/sweeps     submit a benchmark × layout × engine × width grid
+//	GET    /v1/runs/{id}  poll status/progress; carries the Report when done
+//	DELETE /v1/runs/{id}  cancel
+//	GET    /v1/engines    list engines, benchmarks and layouts
+//	GET    /healthz       queue depth, worker and pool saturation
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions get 503 while
+// queued and in-flight jobs finish (bounded by -drain, after which they
+// are cancelled), polls keep answering, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamfetch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8329", "listen address")
+	queue := flag.Int("queue", 64, "bounded job queue depth (full queue: HTTP 429)")
+	workers := flag.Int("workers", 0, "max concurrently executing jobs (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 60*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	srv := streamfetch.NewServer(
+		streamfetch.WithQueueDepth(*queue),
+		streamfetch.WithWorkers(*workers),
+	)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("streamfetchd listening on %s (queue %d, workers flag %d)",
+		*addr, *queue, *workers)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("streamfetchd: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+	}
+
+	log.Printf("streamfetchd draining (up to %s); new submissions get 503", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("streamfetchd: drain cut short: %v", err)
+	}
+	// Jobs are done (or cancelled); now close the listener and let
+	// straggling poll responses flush.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("streamfetchd: http shutdown: %v", err)
+	}
+	log.Printf("streamfetchd stopped")
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,27 +29,6 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "164.gzip", "benchmark name (see -list)")
-	engine := flag.String("engine", "streams",
-		"fetch engine: "+strings.Join(streamfetch.Engines(), ", "))
-	width := flag.Int("width", 8, "pipe width")
-	layoutName := flag.String("layout", "optimized", "code layout: base or optimized")
-	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions to simulate")
-	shards := flag.Int("shards", 1, "trace intervals simulated in parallel and merged")
-	warmup := flag.Uint64("warmup", 0, "warmup instructions per mid-trace shard (counters frozen)")
-	cold := flag.Bool("cold", false,
-		"skip shard prefixes (seek/fast-forward) instead of functionally warming caches through them")
-	traceFile := flag.String("trace", "", "replay a saved trace file instead of generating one")
-	asJSON := flag.Bool("json", false, "emit the report as JSON")
-	list := flag.Bool("list", false, "list benchmarks and engines, then exit")
-	flag.Parse()
-
-	if *list {
-		fmt.Printf("benchmarks: %s\n", strings.Join(streamfetch.Benchmarks(), ", "))
-		fmt.Printf("engines:    %s\n", strings.Join(streamfetch.Engines(), ", "))
-		return
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -58,6 +38,40 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command minus process concerns (signals, exit), so
+// tests drive it with flag slices and buffers instead of spawning the
+// binary. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("streamsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "164.gzip", "benchmark name (see -list)")
+	engine := fs.String("engine", "streams",
+		"fetch engine: "+strings.Join(streamfetch.Engines(), ", "))
+	width := fs.Int("width", 8, "pipe width")
+	layoutName := fs.String("layout", "optimized", "code layout: base or optimized")
+	insts := fs.Uint64("insts", 2_000_000, "dynamic instructions to simulate")
+	shards := fs.Int("shards", 1, "trace intervals simulated in parallel and merged")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions per mid-trace shard (counters frozen)")
+	cold := fs.Bool("cold", false,
+		"skip shard prefixes (seek/fast-forward) instead of functionally warming caches through them")
+	traceFile := fs.String("trace", "", "replay a saved trace file instead of generating one")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	list := fs.Bool("list", false, "list benchmarks and engines, then exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintf(stdout, "benchmarks: %s\n", strings.Join(streamfetch.Benchmarks(), ", "))
+		fmt.Fprintf(stdout, "engines:    %s\n", strings.Join(streamfetch.Engines(), ", "))
+		return 0
+	}
 
 	opts := []streamfetch.Option{
 		streamfetch.WithEngine(*engine),
@@ -79,42 +93,47 @@ func main() {
 	rep, err := streamfetch.New(*bench, opts...).Run(ctx)
 	if err != nil {
 		if rep == nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(stderr, err)
 			if errors.Is(err, context.Canceled) {
-				os.Exit(130)
+				return 130
 			}
-			os.Exit(1)
+			return 1
 		}
 		// Interrupted mid-simulation: report the partial results.
-		fmt.Fprintf(os.Stderr, "interrupted: %v (partial results below)\n", err)
+		fmt.Fprintf(stderr, "interrupted: %v (partial results below)\n", err)
 	}
 
 	if *asJSON {
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if jerr := rep.WriteJSON(stdout); jerr != nil {
+			fmt.Fprintln(stderr, jerr)
+			return 1
 		}
 	} else {
-		fmt.Printf("benchmark      %s (%s layout, %s engine, code size %d KB)\n",
-			rep.Benchmark, rep.Layout, rep.Engine, rep.CodeBytes/1024)
-		fmt.Printf("retired        %d instructions in %d cycles\n", rep.Retired, rep.Cycles)
-		fmt.Printf("IPC            %.3f\n", rep.IPC)
-		fmt.Printf("fetch IPC      %.2f (mean unit %.1f insts, unit predictor hit %.1f%%)\n",
-			rep.FetchIPC, rep.Fetch.MeanUnitLen, hitPct(rep))
-		fmt.Printf("branches       %d, mispredicted %.2f%%, decode redirects %d\n",
-			rep.Branches, 100*rep.MispredRate, rep.Misfetches)
-		fmt.Printf("I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
-			100*rep.ICache.MissRate, 100*rep.DCache.MissRate, 100*rep.L2.MissRate)
-		if rep.Shards > 1 {
-			fmt.Printf("shards         %d (warmup %d insts/shard)\n", rep.Shards, rep.WarmupInsts)
-			for _, iv := range rep.Intervals {
-				fmt.Printf("  shard %-2d @%-12d %8d insts  IPC %.3f  mispred %.2f%%  icacheMiss %.3f%%\n",
-					iv.Index, iv.StartInsts, iv.Insts, iv.IPC, 100*iv.MispredRate, 100*iv.ICacheMissRate)
-			}
-		}
+		printReport(stdout, rep)
 	}
 	if err != nil {
-		os.Exit(130)
+		return 130
+	}
+	return 0
+}
+
+func printReport(w io.Writer, rep *streamfetch.Report) {
+	fmt.Fprintf(w, "benchmark      %s (%s layout, %s engine, code size %d KB)\n",
+		rep.Benchmark, rep.Layout, rep.Engine, rep.CodeBytes/1024)
+	fmt.Fprintf(w, "retired        %d instructions in %d cycles\n", rep.Retired, rep.Cycles)
+	fmt.Fprintf(w, "IPC            %.3f\n", rep.IPC)
+	fmt.Fprintf(w, "fetch IPC      %.2f (mean unit %.1f insts, unit predictor hit %.1f%%)\n",
+		rep.FetchIPC, rep.Fetch.MeanUnitLen, hitPct(rep))
+	fmt.Fprintf(w, "branches       %d, mispredicted %.2f%%, decode redirects %d\n",
+		rep.Branches, 100*rep.MispredRate, rep.Misfetches)
+	fmt.Fprintf(w, "I-cache miss   %.3f%%   D-cache miss %.2f%%   L2 miss %.2f%%\n",
+		100*rep.ICache.MissRate, 100*rep.DCache.MissRate, 100*rep.L2.MissRate)
+	if rep.Shards > 1 {
+		fmt.Fprintf(w, "shards         %d (warmup %d insts/shard)\n", rep.Shards, rep.WarmupInsts)
+		for _, iv := range rep.Intervals {
+			fmt.Fprintf(w, "  shard %-2d @%-12d %8d insts  IPC %.3f  mispred %.2f%%  icacheMiss %.3f%%\n",
+				iv.Index, iv.StartInsts, iv.Insts, iv.IPC, 100*iv.MispredRate, 100*iv.ICacheMissRate)
+		}
 	}
 }
 

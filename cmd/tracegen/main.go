@@ -19,8 +19,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -28,37 +30,52 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "164.gzip", "benchmark name")
-	insts := flag.Uint64("insts", 2_000_000, "dynamic instructions")
-	seed := flag.Uint64("seed", 99, "branch behaviour seed (input selection)")
-	out := flag.String("o", "", "output trace file")
-	flag.Bool("stream", true,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first interrupt cancels the context (which stops an
+		// export), restore the default handler so a second Ctrl-C kills
+		// the process even mid-generation.
+		<-ctx.Done()
+		stop()
+	}()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command minus process concerns (signals, exit), so
+// tests drive it with flag slices and buffers instead of spawning the
+// binary. It returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "164.gzip", "benchmark name")
+	insts := fs.Uint64("insts", 2_000_000, "dynamic instructions")
+	seed := fs.Uint64("seed", 99, "branch behaviour seed (input selection)")
+	out := fs.String("o", "", "output trace file")
+	fs.Bool("stream", true,
 		"deprecated: traces always stream (constant memory, any trace length)")
-	inspect := flag.String("inspect", "", "print a summary of an existing trace file")
-	flag.Parse()
+	inspect := fs.String("inspect", "", "print a summary of an existing trace file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *inspect != "" {
 		info, err := streamfetch.InspectTraceFile(*inspect)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		printInfo("trace", info)
-		return
+		printInfo(stdout, "trace", info)
+		return 0
 	}
 
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "missing -o output file")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "missing -o output file")
+		return 2
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		// After the first interrupt cancels the context (which stops a
-		// -stream export), restore the default handler so a second
-		// Ctrl-C kills the process even mid-materialization.
-		<-ctx.Done()
-		stop()
-	}()
 
 	session := streamfetch.New(*bench,
 		streamfetch.WithInstructions(*insts),
@@ -67,7 +84,8 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	// Blocks flow straight from the seeded CFG walk into the encoder; the
 	// session binds its program, so the file carries the seek index.
@@ -75,29 +93,27 @@ func main() {
 	if err != nil {
 		f.Close()
 		os.Remove(*out)
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	printInfo(fmt.Sprintf("wrote %s:", *out), info)
+	printInfo(stdout, fmt.Sprintf("wrote %s:", *out), info)
+	return 0
 }
 
-func printInfo(prefix string, info streamfetch.TraceInfo) {
-	fmt.Printf("%s %s\n", prefix, info.Name)
-	fmt.Printf("blocks  %d\n", info.Blocks)
-	fmt.Printf("insts   %d\n", info.Insts)
+func printInfo(w io.Writer, prefix string, info streamfetch.TraceInfo) {
+	fmt.Fprintf(w, "%s %s\n", prefix, info.Name)
+	fmt.Fprintf(w, "blocks  %d\n", info.Blocks)
+	fmt.Fprintf(w, "insts   %d\n", info.Insts)
 	if info.Blocks > 0 {
-		fmt.Printf("mean block length %.2f instructions\n", info.MeanBlockLen())
+		fmt.Fprintf(w, "mean block length %.2f instructions\n", info.MeanBlockLen())
 	}
 	if info.Seekable {
-		fmt.Println("seekable: yes (chunk index present; sharded replays seek)")
+		fmt.Fprintln(w, "seekable: yes (chunk index present; sharded replays seek)")
 	} else {
-		fmt.Println("seekable: no (sharded replays decode linearly)")
+		fmt.Fprintln(w, "seekable: no (sharded replays decode linearly)")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenerateAndInspectGolden: generate a small trace, then pin the
+// -inspect summary byte-for-byte against a golden. Generation is seeded,
+// so block/instruction counts and seekability are deterministic; a change
+// here means the generator, the codec or the inspect plumbing moved.
+func TestGenerateAndInspectGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gzip_50k.trc")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-bench", "164.gzip", "-insts", "50000", "-seed", "99", "-o", path},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("generate: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "wrote "+path+": 164.gzip") {
+		t.Fatalf("generate output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-inspect", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("inspect: exit %d, stderr: %s", code, stderr.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_inspect_gzip_50k.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("-inspect output diverged from golden\ngot:\n%s\nwant:\n%s",
+			stdout.Bytes(), want)
+	}
+}
+
+// TestRunErrors: the documented failure exits — missing -o, unreadable
+// -inspect target, unknown flag — without touching the filesystem.
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-bench", "164.gzip"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -o: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-inspect", filepath.Join(t.TempDir(), "absent.trc")}, &stdout, &stderr); code != 1 {
+		t.Errorf("absent -inspect file: exit %d, want 1", code)
+	}
+	if stderr.Len() == 0 {
+		t.Error("absent -inspect file produced no error output")
+	}
+	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h: exit %d, want 0 (usage is not an error)", code)
+	}
+}

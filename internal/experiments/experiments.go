@@ -140,47 +140,25 @@ type Cell struct {
 }
 
 // Sweep runs every (benchmark, layout, engine) combination at one width on
-// a bounded worker pool. On error or cancellation it returns the cells that
-// completed (in job order, incomplete cells dropped) together with the
-// first error, so a cancelled sweep still yields its partial results.
+// a bounded worker pool — streamfetch.RunGrid over the benches' sessions,
+// the same grid runner streamfetchd sweep jobs execute. On error or
+// cancellation it returns the cells that completed (in job order,
+// incomplete cells dropped) together with the first error, so a cancelled
+// sweep still yields its partial results.
 func Sweep(ctx context.Context, benches []Bench, width int, layouts []string, engines []string, parallel bool) ([]Cell, error) {
-	type job struct {
-		b      Bench
-		layout string
-		engine string
+	sessions := make([]*streamfetch.Session, len(benches))
+	for i := range benches {
+		sessions[i] = benches[i].Session
 	}
-	var jobs []job
-	for _, b := range benches {
-		for _, l := range layouts {
-			for _, e := range engines {
-				jobs = append(jobs, job{b, l, e})
-			}
+	grid, err := streamfetch.RunGrid(ctx, sessions, []int{width}, layouts, engines, parallel, nil)
+	cells := make([]Cell, 0, len(grid))
+	for _, g := range grid {
+		if g.Report == nil {
+			continue
 		}
+		cells = append(cells, Cell{Bench: g.Benchmark, Layout: g.Layout, Result: g.Report})
 	}
-	cells := make([]Cell, len(jobs))
-	err := forEach(ctx, len(jobs), parallel, func(i int) error {
-		j := jobs[i]
-		rep, err := j.b.Session.RunWith(ctx,
-			streamfetch.WithWidth(width),
-			streamfetch.WithLayout(j.layout),
-			streamfetch.WithEngine(j.engine),
-		)
-		if err != nil {
-			return fmt.Errorf("%s/%s/%s w=%d: %w", j.b.Name, j.layout, j.engine, width, err)
-		}
-		cells[i] = Cell{Bench: j.b.Name, Layout: j.layout, Result: rep}
-		return nil
-	})
-	if err != nil {
-		done := cells[:0]
-		for _, c := range cells {
-			if c.Result != nil {
-				done = append(done, c)
-			}
-		}
-		return done, err
-	}
-	return cells, nil
+	return cells, err
 }
 
 // HarmonicIPC aggregates the harmonic-mean IPC per (layout, engine) over the

@@ -18,9 +18,17 @@ import (
 	"sync/atomic"
 )
 
-var (
-	mu     sync.Mutex
+// pool bundles the token channel with its own saturation counter, so a
+// release that fires after SetBudget swapped pools adjusts the old pool's
+// counter (and channel), never the new one's.
+type pool struct {
 	tokens chan struct{}
+	inUse  atomic.Int64
+}
+
+var (
+	mu  sync.Mutex
+	cur *pool
 )
 
 func init() { SetBudget(runtime.GOMAXPROCS(0) - 1) }
@@ -32,27 +40,58 @@ func SetBudget(n int) {
 	if n < 0 {
 		n = 0
 	}
-	c := make(chan struct{}, n)
+	p := &pool{tokens: make(chan struct{}, n)}
 	for i := 0; i < n; i++ {
-		c <- struct{}{}
+		p.tokens <- struct{}{}
 	}
 	mu.Lock()
-	tokens = c
+	cur = p
 	mu.Unlock()
 }
 
-// tryAcquire claims one extra-worker token without blocking.
-func tryAcquire() (chan struct{}, bool) {
+func current() *pool {
 	mu.Lock()
-	c := tokens
-	mu.Unlock()
+	defer mu.Unlock()
+	return cur
+}
+
+// Budget returns the extra-worker pool capacity: the process runs at most
+// Budget()+1 simulation goroutines (the extras plus the free caller).
+func Budget() int { return cap(current().tokens) }
+
+// InUse returns how many extra-worker tokens are claimed right now — the
+// pool saturation metric. It never exceeds Budget, so total simulation
+// concurrency (InUse()+1 counting the token-free caller) never exceeds
+// GOMAXPROCS under the default budget.
+func InUse() int { return int(current().inUse.Load()) }
+
+// tryAcquire claims one extra-worker token without blocking; the returned
+// release func (idempotent) returns it to the pool it came from, so a
+// SetBudget between acquire and release never corrupts the new pool.
+func tryAcquire() (func(), bool) {
+	p := current()
 	select {
-	case <-c:
-		return c, true
+	case <-p.tokens:
+		p.inUse.Add(1)
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				p.inUse.Add(-1)
+				p.tokens <- struct{}{}
+			})
+		}, true
 	default:
 		return nil, false
 	}
 }
+
+// TryHold claims one extra-worker token without blocking, for callers that
+// hold it across a unit of work longer than one Do fan-out (e.g. a service
+// job runner that wants its job goroutine counted against the shared
+// budget). The release func is idempotent. Holders must release promptly
+// when their work ends; a held token is one fewer worker for every Do in
+// the process.
+func TryHold() (release func(), ok bool) { return tryAcquire() }
 
 // Do runs f(0..n-1) on the calling goroutine plus however many extra
 // workers the shared budget can spare (none when parallel is false).
@@ -83,14 +122,14 @@ func Do(ctx context.Context, n int, parallel bool, f func(i int) error) error {
 	// claimed index, so ramp-up is immediate when tokens are free and
 	// late-freed tokens are still picked up.
 	spawn := func() {
-		c, ok := tryAcquire()
+		release, ok := tryAcquire()
 		if !ok {
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { c <- struct{}{} }()
+			defer release()
 			work()
 		}()
 	}

@@ -117,6 +117,47 @@ func TestDoPicksUpFreedTokens(t *testing.T) {
 	}
 }
 
+// TestTryHoldInUse: TryHold/release drive the saturation metric, releases
+// are idempotent, and a release outliving a SetBudget adjusts only the
+// pool it came from — never the new pool's counter.
+func TestTryHoldInUse(t *testing.T) {
+	restoreBudget(t)
+	SetBudget(2)
+	if got := InUse(); got != 0 {
+		t.Fatalf("InUse = %d on a fresh pool", got)
+	}
+	r1, ok := TryHold()
+	if !ok || InUse() != 1 {
+		t.Fatalf("first hold: ok=%v InUse=%d", ok, InUse())
+	}
+	r2, ok := TryHold()
+	if !ok || InUse() != 2 {
+		t.Fatalf("second hold: ok=%v InUse=%d", ok, InUse())
+	}
+	if _, ok := TryHold(); ok {
+		t.Fatal("third hold succeeded beyond the budget")
+	}
+	r2()
+	r2() // idempotent
+	if InUse() != 1 {
+		t.Fatalf("InUse = %d after one release", InUse())
+	}
+
+	// Swap pools while r1 is outstanding: the new pool starts clean, and
+	// r1 firing later must not drive its counter negative.
+	SetBudget(2)
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after SetBudget", InUse())
+	}
+	r1()
+	if InUse() != 0 {
+		t.Fatalf("InUse = %d after a stale release; old-pool releases must not corrupt the new pool", InUse())
+	}
+	if Budget() != 2 {
+		t.Fatalf("Budget = %d", Budget())
+	}
+}
+
 // TestDoFirstError: the first failure stops new work and is returned.
 func TestDoFirstError(t *testing.T) {
 	restoreBudget(t)

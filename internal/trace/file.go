@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -452,7 +453,8 @@ func parseIndex(buf []byte, fileSize uint64) *chunkIndex {
 			insts:  last.insts + d[2],
 			prev:   last.prev + pd,
 		}
-		if last.off >= fileSize || last.blocks > ix.totalBlocks || last.insts > ix.totalInsts {
+		if last.off >= fileSize || last.blocks > ix.totalBlocks || last.insts > ix.totalInsts ||
+			last.prev < 0 || last.prev > math.MaxInt32 {
 			return nil
 		}
 		ix.entries = append(ix.entries, last)
@@ -485,7 +487,7 @@ func (s *FileSource) TotalBlocks() (uint64, bool) {
 // blockInsts returns the CFG instruction count of id under the bound
 // program, failing the stream on a block outside it.
 func (s *FileSource) blockInsts(id cfg.BlockID) (uint64, bool) {
-	if int(id) >= len(s.prog.Blocks) {
+	if id < 0 || int(id) >= len(s.prog.Blocks) {
 		s.done = true
 		s.err = fmt.Errorf("trace: block %d outside the bound program (%d blocks)", id, len(s.prog.Blocks))
 		return 0, false
@@ -613,8 +615,10 @@ func (s *FileSource) decode() (cfg.BlockID, bool) {
 		return s.fail(fmt.Errorf("trace: reading block %d: %w", s.read, err))
 	}
 	s.prev += delta
-	if s.prev < 0 {
-		return s.fail(fmt.Errorf("trace: negative block ID at record %d", s.read))
+	// BlockID is int32: anything outside its range is corrupt, and letting
+	// it through would wrap negative in the conversion below.
+	if s.prev < 0 || s.prev > math.MaxInt32 {
+		return s.fail(fmt.Errorf("trace: block ID %d out of range at record %d", s.prev, s.read))
 	}
 	s.remaining--
 	s.read++

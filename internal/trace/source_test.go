@@ -142,7 +142,7 @@ func TestFileSourceTruncation(t *testing.T) {
 }
 
 // writeV1 encodes a trace in the legacy count-prefixed format.
-func writeV1(t *testing.T, tr *Trace) []byte {
+func writeV1(t testing.TB, tr *Trace) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	buf.WriteString(magicV1)

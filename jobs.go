@@ -1,0 +1,751 @@
+// Job execution for the streamfetchd service: a bounded queue of run and
+// sweep jobs drained by a worker pool that shares the process-wide
+// internal/par budget with intra-job shard workers, a session cache that
+// amortizes preparation (program synthesis, profiling, layouts) across
+// requests, and the grid sweep runner the service shares with
+// internal/experiments.
+//
+// Concurrency model: every concurrent job holds one par token while it
+// runs, and sharded runs inside a job draw their extra shard workers from
+// the same pool; only when the pool is empty and nothing is in flight
+// does the dispatcher run a single job inline as the budget-free caller,
+// which keeps a zero-token (one core) box progressing. Total simulation
+// concurrency therefore never exceeds GOMAXPROCS, however jobs, sweeps
+// and shards stack.
+package streamfetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamfetch/internal/par"
+)
+
+// Submission errors, mapped to HTTP statuses by the server (503 and 429).
+var (
+	ErrDraining  = errors.New("streamfetch: server is draining, not accepting jobs")
+	ErrQueueFull = errors.New("streamfetch: job queue is full")
+)
+
+// GridCell is one (benchmark, layout, engine, width) outcome of RunGrid.
+// Report is nil when the cell failed (Error says why) or was never reached
+// because an earlier cell failed or the context was cancelled.
+type GridCell struct {
+	Benchmark string  `json:"benchmark"`
+	Layout    string  `json:"layout"`
+	Engine    string  `json:"engine"`
+	Width     int     `json:"width"`
+	Report    *Report `json:"report,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// RunGrid runs every (session × layout × engine × width) combination on
+// the process-wide worker budget (one goroutine total when parallel is
+// false), returning one cell per combination in enumeration order:
+// sessions outermost, widths innermost. Extra opts apply to every cell
+// before the grid dimensions. The first error (or context cancellation)
+// stops new cells from being claimed; in-flight cells finish, and the
+// partially-filled grid is returned with that error.
+func RunGrid(ctx context.Context, sessions []*Session, widths []int, layouts, engines []string, parallel bool, onCell func(done, total int), opts ...Option) ([]GridCell, error) {
+	type dim struct {
+		s              *Session
+		layout, engine string
+		width          int
+	}
+	var jobs []dim
+	for _, s := range sessions {
+		for _, l := range layouts {
+			for _, e := range engines {
+				for _, w := range widths {
+					jobs = append(jobs, dim{s, l, e, w})
+				}
+			}
+		}
+	}
+	// Identity fields are filled for every cell up front, so a grid cut
+	// short by an error or cancellation still tells the caller exactly
+	// which combinations were never reached (their Report stays nil).
+	cells := make([]GridCell, len(jobs))
+	for i, j := range jobs {
+		cells[i] = GridCell{Benchmark: j.s.Benchmark(), Layout: j.layout, Engine: j.engine, Width: j.width}
+	}
+	var done atomic.Int64
+	err := par.Do(ctx, len(jobs), parallel, func(i int) error {
+		j := jobs[i]
+		runOpts := append(slices.Clone(opts),
+			WithWidth(j.width), WithLayout(j.layout), WithEngine(j.engine))
+		rep, err := j.s.RunWith(ctx, runOpts...)
+		if err != nil {
+			cells[i].Error = err.Error()
+			return fmt.Errorf("%s/%s/%s w=%d: %w", j.s.Benchmark(), j.layout, j.engine, j.width, err)
+		}
+		cells[i].Report = rep
+		if onCell != nil {
+			onCell(int(done.Add(1)), len(jobs))
+		}
+		return nil
+	})
+	return cells, err
+}
+
+// RunRequest is the body of POST /v1/runs: one simulation configuration.
+// Zero-valued fields keep the session defaults (streams engine, base
+// layout, width 8, seed 99, 2M instructions), exactly as the corresponding
+// session option would.
+type RunRequest struct {
+	Benchmark       string `json:"benchmark"`
+	Engine          string `json:"engine,omitempty"`
+	Layout          string `json:"layout,omitempty"`
+	Width           int    `json:"width,omitempty"`
+	Seed            uint64 `json:"seed,omitempty"`
+	TrainSeed       uint64 `json:"train_seed,omitempty"`
+	Insts           uint64 `json:"insts,omitempty"`
+	TrainInsts      uint64 `json:"train_insts,omitempty"`
+	MaxInsts        uint64 `json:"max_insts,omitempty"`
+	Shards          int    `json:"shards,omitempty"`
+	Warmup          uint64 `json:"warmup,omitempty"`
+	ColdShards      bool   `json:"cold_shards,omitempty"`
+	ICacheLineBytes int    `json:"icache_line_bytes,omitempty"`
+}
+
+func (r *RunRequest) validate() error {
+	if r.Benchmark == "" {
+		return errors.New("missing benchmark")
+	}
+	if !slices.Contains(Benchmarks(), r.Benchmark) {
+		return fmt.Errorf("unknown benchmark %q", r.Benchmark)
+	}
+	if r.Engine != "" && !slices.Contains(Engines(), r.Engine) {
+		return fmt.Errorf("unknown engine %q", r.Engine)
+	}
+	if r.Layout != "" {
+		if err := checkLayout(r.Layout); err != nil {
+			return err
+		}
+	}
+	if r.Width < 0 {
+		return fmt.Errorf("negative width %d", r.Width)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("negative shards %d", r.Shards)
+	}
+	return nil
+}
+
+// runOptions maps the per-run fields onto session options (preparation
+// fields are the session's own, via the cache key).
+func (r *RunRequest) runOptions() []Option {
+	var opts []Option
+	if r.Engine != "" {
+		opts = append(opts, WithEngine(r.Engine))
+	}
+	if r.Layout != "" {
+		opts = append(opts, WithLayout(r.Layout))
+	}
+	if r.Width > 0 {
+		opts = append(opts, WithWidth(r.Width))
+	}
+	if r.MaxInsts > 0 {
+		opts = append(opts, WithMaxInstructions(r.MaxInsts))
+	}
+	if r.Shards > 0 {
+		opts = append(opts, WithShards(r.Shards))
+	}
+	if r.Warmup > 0 {
+		opts = append(opts, WithWarmup(r.Warmup))
+	}
+	if r.ColdShards {
+		opts = append(opts, WithColdShards())
+	}
+	if r.ICacheLineBytes > 0 {
+		opts = append(opts, WithICacheLineBytes(r.ICacheLineBytes))
+	}
+	return opts
+}
+
+// SweepRequest is the body of POST /v1/sweeps: a benchmark × layout ×
+// engine × width grid run as one job. Empty dimensions default to the full
+// axis (every benchmark, both layouts, every registered engine, width 8).
+// The scalar fields configure every cell, like RunRequest.
+type SweepRequest struct {
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Layouts    []string `json:"layouts,omitempty"`
+	Engines    []string `json:"engines,omitempty"`
+	Widths     []int    `json:"widths,omitempty"`
+
+	Seed       uint64 `json:"seed,omitempty"`
+	TrainSeed  uint64 `json:"train_seed,omitempty"`
+	Insts      uint64 `json:"insts,omitempty"`
+	TrainInsts uint64 `json:"train_insts,omitempty"`
+	MaxInsts   uint64 `json:"max_insts,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	Warmup     uint64 `json:"warmup,omitempty"`
+	ColdShards bool   `json:"cold_shards,omitempty"`
+}
+
+// normalize fills defaulted axes and validates every dimension value.
+func (r *SweepRequest) normalize() error {
+	if len(r.Benchmarks) == 0 {
+		r.Benchmarks = Benchmarks()
+	}
+	for _, b := range r.Benchmarks {
+		if !slices.Contains(Benchmarks(), b) {
+			return fmt.Errorf("unknown benchmark %q", b)
+		}
+	}
+	if len(r.Layouts) == 0 {
+		r.Layouts = Layouts()
+	}
+	for _, l := range r.Layouts {
+		if err := checkLayout(l); err != nil {
+			return err
+		}
+	}
+	if len(r.Engines) == 0 {
+		r.Engines = Engines()
+	}
+	for _, e := range r.Engines {
+		if !slices.Contains(Engines(), e) {
+			return fmt.Errorf("unknown engine %q", e)
+		}
+	}
+	if len(r.Widths) == 0 {
+		r.Widths = []int{8}
+	}
+	for _, w := range r.Widths {
+		if w <= 0 {
+			return fmt.Errorf("invalid width %d", w)
+		}
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("negative shards %d", r.Shards)
+	}
+	return nil
+}
+
+// cellOptions maps the scalar fields onto per-cell session options.
+func (r *SweepRequest) cellOptions() []Option {
+	var opts []Option
+	if r.MaxInsts > 0 {
+		opts = append(opts, WithMaxInstructions(r.MaxInsts))
+	}
+	if r.Shards > 0 {
+		opts = append(opts, WithShards(r.Shards))
+	}
+	if r.Warmup > 0 {
+		opts = append(opts, WithWarmup(r.Warmup))
+	}
+	if r.ColdShards {
+		opts = append(opts, WithColdShards())
+	}
+	return opts
+}
+
+// prepSpec is the session-cache key: every field that shapes a session's
+// prepared artifacts (program, profile, both layouts). Requests agreeing
+// on these share one cached session — and therefore skip trace, profile
+// and layout preparation — whatever their engine, width or layout choice,
+// since both layouts live inside the session.
+type prepSpec struct {
+	benchmark         string
+	seed, trainSeed   uint64
+	insts, trainInsts uint64
+}
+
+// normalized resolves zero fields to the session defaults so "default by
+// omission" and "default spelled out" share one cache entry. trainInsts
+// stays 0 when unset: the session derives its own default (a quarter of
+// the trace length) at preparation time, so the rule lives in one place.
+func (p prepSpec) normalized() prepSpec {
+	if p.seed == 0 {
+		p.seed = defaultSeed
+	}
+	if p.trainSeed == 0 {
+		p.trainSeed = defaultTrainSeed
+	}
+	if p.insts == 0 {
+		p.insts = defaultInsts
+	}
+	return p
+}
+
+func (p prepSpec) options() []Option {
+	opts := []Option{
+		WithSeed(p.seed),
+		WithTrainSeed(p.trainSeed),
+		WithInstructions(p.insts),
+	}
+	if p.trainInsts > 0 {
+		opts = append(opts, WithTrainInstructions(p.trainInsts))
+	}
+	return opts
+}
+
+func (r *RunRequest) prepSpec() prepSpec {
+	return prepSpec{r.Benchmark, r.Seed, r.TrainSeed, r.Insts, r.TrainInsts}.normalized()
+}
+
+func (r *SweepRequest) prepSpec(benchmark string) prepSpec {
+	return prepSpec{benchmark, r.Seed, r.TrainSeed, r.Insts, r.TrainInsts}.normalized()
+}
+
+// maxCachedSessions bounds the session cache: enough for a broad working
+// set (the full 11-benchmark suite at several seed/length configurations)
+// while keeping a long-lived daemon's prepared-artifact memory bounded
+// against clients that sweep the key space (e.g. a fresh seed per
+// request).
+const maxCachedSessions = 64
+
+// sessionCache shares prepared sessions across jobs, least-recently-used
+// beyond its bound. Sessions are safe for concurrent RunWith, so two jobs
+// over the same benchmark and seeds reuse one preparation and run
+// simultaneously; an evicted session keeps serving jobs already holding
+// it and is garbage-collected when they finish.
+type sessionCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[prepSpec]*Session
+	use []prepSpec // LRU order, least recently used first
+}
+
+func (c *sessionCache) get(spec prepSpec) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		c.cap = maxCachedSessions
+	}
+	if s, ok := c.m[spec]; ok {
+		for i, k := range c.use {
+			if k == spec {
+				c.use = append(append(c.use[:i:i], c.use[i+1:]...), spec)
+				break
+			}
+		}
+		return s
+	}
+	if c.m == nil {
+		c.m = map[prepSpec]*Session{}
+	}
+	s := New(spec.benchmark, spec.options()...)
+	c.m[spec] = s
+	c.use = append(c.use, spec)
+	for len(c.use) > c.cap {
+		delete(c.m, c.use[0])
+		c.use = c.use[1:]
+	}
+	return s
+}
+
+func (c *sessionCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// jobFunc executes one job under its context, returning a report (run
+// jobs) or cells (sweep jobs).
+type jobFunc func(ctx context.Context) (*Report, []GridCell, error)
+
+// job is one queued or executing unit of service work.
+type job struct {
+	id   string
+	kind string // "run" or "sweep"
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    jobFunc
+	done   chan struct{} // closed on reaching a terminal state
+
+	mu       sync.Mutex
+	state    JobState
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+	report   *Report
+	cells    []GridCell
+	err      error
+
+	pmu        sync.Mutex
+	shardRet   map[int]uint64 // retired per reporting shard (key 0 unsharded)
+	total      uint64
+	cellsDone  int
+	cellsTotal int
+}
+
+// noteProgress records a session progress callback; sharded callbacks
+// arrive concurrently, one per interval.
+func (j *job) noteProgress(p Progress) {
+	j.pmu.Lock()
+	if j.shardRet == nil {
+		j.shardRet = map[int]uint64{}
+	}
+	j.shardRet[p.Shard] = p.Retired
+	j.total = p.Total
+	j.pmu.Unlock()
+}
+
+// noteCell records sweep-cell completion.
+func (j *job) noteCell(done, total int) {
+	j.pmu.Lock()
+	if done > j.cellsDone {
+		j.cellsDone = done
+	}
+	j.cellsTotal = total
+	j.pmu.Unlock()
+}
+
+// tryStart moves queued → running; false when the job was cancelled while
+// queued (it must not run).
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(state JobState, rep *Report, cells []GridCell, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.report = rep
+	j.cells = cells
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// envelope snapshots the job as its public resource representation.
+func (j *job) envelope() *JobEnvelope {
+	now := time.Now()
+	j.mu.Lock()
+	env := &JobEnvelope{
+		ID:         j.id,
+		Kind:       j.kind,
+		State:      j.state,
+		EnqueuedAt: j.enqueued,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+	if !j.started.IsZero() {
+		env.WaitSeconds = j.started.Sub(j.enqueued).Seconds()
+		end := now
+		if !j.finished.IsZero() {
+			end = j.finished
+		}
+		env.RunSeconds = end.Sub(j.started).Seconds()
+	}
+	if j.state.Terminal() {
+		env.Report = j.report
+		env.Cells = j.cells
+		if j.err != nil {
+			env.Error = j.err.Error()
+		}
+	}
+	j.mu.Unlock()
+
+	j.pmu.Lock()
+	var retired uint64
+	for _, r := range j.shardRet {
+		retired += r
+	}
+	if retired > 0 || j.total > 0 || j.cellsTotal > 0 {
+		env.Progress = &JobProgress{
+			Retired:    retired,
+			Total:      j.total,
+			CellsDone:  j.cellsDone,
+			CellsTotal: j.cellsTotal,
+		}
+	}
+	j.pmu.Unlock()
+	return env
+}
+
+// jobManager owns the queue, the registry and the worker pool.
+type jobManager struct {
+	workers int
+	retain  int // terminal jobs kept in the registry
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+
+	queue    chan *job
+	slotFree chan struct{}  // pulsed when an extra job runner finishes
+	wg       sync.WaitGroup // dispatcher + spawned job runners
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	done     []string // terminal job ids, oldest first, for eviction
+	nextID   int
+
+	spawned atomic.Int64 // token-held extra job runners in flight
+
+	sessions sessionCache
+}
+
+func newJobManager(queueDepth, workers, retain int) *jobManager {
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if retain <= 0 {
+		retain = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &jobManager{
+		workers:  workers,
+		retain:   retain,
+		baseCtx:  ctx,
+		stopAll:  cancel,
+		queue:    make(chan *job, queueDepth),
+		slotFree: make(chan struct{}, 1),
+		jobs:     map[string]*job{},
+	}
+	m.wg.Add(1)
+	go m.dispatch()
+	return m
+}
+
+// submit creates a job (build receives it so run closures can reference
+// their own job for progress reporting) and enqueues it, rejecting when
+// draining or full.
+func (m *jobManager) submit(kind string, build func(*job) jobFunc) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		id:       fmt.Sprintf("%s-%06d", kind, m.nextID),
+		kind:     kind,
+		state:    JobQueued,
+		enqueued: time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	j.run = build(j)
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	return j, nil
+}
+
+// newRunJob validates and enqueues a single-configuration run.
+func (m *jobManager) newRunJob(req RunRequest) (*job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return m.submit("run", func(j *job) jobFunc {
+		return func(ctx context.Context) (*Report, []GridCell, error) {
+			sess := m.sessions.get(req.prepSpec())
+			opts := append(req.runOptions(), WithProgress(0, j.noteProgress))
+			rep, err := sess.RunWith(ctx, opts...)
+			return rep, nil, err
+		}
+	})
+}
+
+// newSweepJob validates and enqueues a grid sweep as one job.
+func (m *jobManager) newSweepJob(req SweepRequest) (*job, error) {
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
+	total := len(req.Benchmarks) * len(req.Layouts) * len(req.Engines) * len(req.Widths)
+	return m.submit("sweep", func(j *job) jobFunc {
+		j.cellsTotal = total
+		return func(ctx context.Context) (*Report, []GridCell, error) {
+			sessions := make([]*Session, len(req.Benchmarks))
+			for i, b := range req.Benchmarks {
+				sessions[i] = m.sessions.get(req.prepSpec(b))
+			}
+			cells, err := RunGrid(ctx, sessions, req.Widths, req.Layouts, req.Engines,
+				true, j.noteCell, req.cellOptions()...)
+			return nil, cells, err
+		}
+	})
+}
+
+// get returns a job by id (nil when unknown).
+func (m *jobManager) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// cancelJob cancels one job: a queued job goes terminal immediately and
+// never runs; a running job has its context cancelled and finishes as
+// cancelled once the simulation observes it (its shard workers release
+// their pool tokens on the way out). Terminal jobs are untouched.
+func (m *jobManager) cancelJob(j *job) {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.err = context.Canceled
+		j.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		m.retire(j)
+		return
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// retire records a terminal job for bounded retention: the registry keeps
+// the most recent `retain` finished jobs (their envelopes, reports and
+// sweep cells) and evicts the oldest beyond that, so a long-lived daemon's
+// memory is bounded however many jobs it has served. Evicted ids answer
+// 404; a durable result store is a future subsystem.
+func (m *jobManager) retire(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done = append(m.done, j.id)
+	for len(m.done) > m.retain {
+		delete(m.jobs, m.done[0])
+		m.done = m.done[1:]
+	}
+}
+
+// counts tallies job states for the health surface.
+func (m *jobManager) counts() (queued, running, terminal int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		s := j.state
+		j.mu.Unlock()
+		switch s {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		default:
+			terminal++
+		}
+	}
+	return
+}
+
+// dispatch drains the queue, placing each job on a worker.
+func (m *jobManager) dispatch() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.place(j)
+	}
+}
+
+// place runs one job. When the worker cap and the par pool both allow,
+// the job is handed to an extra goroutine holding one pool token for the
+// job's duration, so concurrent jobs and the shard workers inside them
+// draw from the same GOMAXPROCS budget: up to `workers` jobs run at once,
+// each on its own token. The dispatcher runs a job inline (as the
+// budget-free caller) only while no runner is in flight — that keeps a
+// zero-token box progressing without ever parking a long-running job on
+// the dispatcher while freed workers sit idle; with runners in flight it
+// instead waits for capacity (a runner finishing, or a token returned
+// mid-job by a shard fan-out) and retries.
+func (m *jobManager) place(j *job) {
+	for {
+		select {
+		case <-j.done:
+			return // cancelled while queued: don't wait for capacity
+		default:
+		}
+		if int(m.spawned.Load()) < m.workers {
+			if release, ok := par.TryHold(); ok {
+				m.spawned.Add(1)
+				m.wg.Add(1)
+				go func() {
+					defer m.wg.Done()
+					m.runJob(j)
+					release()
+					m.spawned.Add(-1)
+					select {
+					case m.slotFree <- struct{}{}:
+					default:
+					}
+				}()
+				return
+			}
+		}
+		if m.spawned.Load() == 0 {
+			m.runJob(j)
+			return
+		}
+		select {
+		case <-m.slotFree:
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// runJob executes one job and records its terminal state. A cancelled
+// run may still carry a partial report (Aborted set), which is preserved.
+func (m *jobManager) runJob(j *job) {
+	defer j.cancel()
+	if !j.tryStart() {
+		return // cancelled while queued
+	}
+	rep, cells, err := j.run(j.ctx)
+	switch {
+	case err == nil:
+		j.finish(JobDone, rep, cells, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(JobCancelled, rep, cells, err)
+	default:
+		j.finish(JobFailed, rep, cells, err)
+	}
+	m.retire(j)
+}
+
+// shutdown drains: no new submissions, queued and running jobs complete,
+// workers exit. When ctx expires first, every remaining job is cancelled
+// and shutdown still waits for the workers to unwind (no goroutine
+// leaks), returning ctx's error.
+func (m *jobManager) shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.stopAll()
+		return nil
+	case <-ctx.Done():
+		m.stopAll()
+		<-done
+		return ctx.Err()
+	}
+}

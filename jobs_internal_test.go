@@ -1,0 +1,29 @@
+package streamfetch
+
+import "testing"
+
+// TestSessionCacheLRU: the cache reuses sessions for repeated specs,
+// bounds its size, and evicts least-recently-used first — so a client
+// sweeping the key space (fresh seed per request) cannot grow a daemon's
+// prepared-artifact memory without limit.
+func TestSessionCacheLRU(t *testing.T) {
+	c := sessionCache{cap: 2}
+	a := c.get(prepSpec{benchmark: "164.gzip", seed: 1})
+	if got := c.get(prepSpec{benchmark: "164.gzip", seed: 1}); got != a {
+		t.Fatal("repeated spec did not reuse the cached session")
+	}
+	b := c.get(prepSpec{benchmark: "164.gzip", seed: 2})
+	_ = b
+	// Touch a so seed 2 is now least recently used, then overflow.
+	c.get(prepSpec{benchmark: "164.gzip", seed: 1})
+	c.get(prepSpec{benchmark: "164.gzip", seed: 3})
+	if got := c.size(); got != 2 {
+		t.Fatalf("cache size %d, want 2", got)
+	}
+	if got := c.get(prepSpec{benchmark: "164.gzip", seed: 1}); got != a {
+		t.Error("recently used session was evicted")
+	}
+	if got := c.get(prepSpec{benchmark: "164.gzip", seed: 2}); got == b {
+		t.Error("least recently used session was not evicted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"streamfetch/internal/isa"
 	"streamfetch/internal/layout"
@@ -153,6 +154,56 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// JobState is the lifecycle state of a service job (see Server).
+type JobState string
+
+// Job lifecycle: queued → running → done | failed | cancelled. A queued
+// job that is cancelled never runs.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final (no further transitions).
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobProgress is a point-in-time view of a running job's advancement: the
+// retired-instruction counters for run jobs (summed over shards for a
+// sharded run), the completed-cell counters for sweep jobs.
+type JobProgress struct {
+	Retired    uint64 `json:"retired,omitempty"`
+	Total      uint64 `json:"total,omitempty"`
+	CellsDone  int    `json:"cells_done,omitempty"`
+	CellsTotal int    `json:"cells_total,omitempty"`
+}
+
+// JobEnvelope is the service's job resource: identity, lifecycle state,
+// timings, live progress, and — once terminal — the run's Report or the
+// sweep's cells. It is what GET /v1/runs/{id} returns at every state.
+type JobEnvelope struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"` // "run" or "sweep"
+	State JobState `json:"state"`
+
+	EnqueuedAt time.Time `json:"enqueued_at,omitzero"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// WaitSeconds is queue latency (enqueue → start); RunSeconds is
+	// execution time (start → finish, or → now while running).
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
+	RunSeconds  float64 `json:"run_seconds,omitempty"`
+
+	Progress *JobProgress `json:"progress,omitempty"`
+	Report   *Report      `json:"report,omitempty"`
+	Cells    []GridCell   `json:"cells,omitempty"`
+	Error    string       `json:"error,omitempty"`
 }
 
 // Experiment is one table or figure of the paper's evaluation in structured

@@ -1,0 +1,239 @@
+// The streamfetchd HTTP/JSON surface: long-lived service access to the
+// session API, so preparation (program synthesis, profiling, layouts,
+// decode tables) is paid once per configuration and amortized across many
+// requests, the way a serving deployment would want it.
+//
+//	POST   /v1/runs        submit one simulation        → 202 JobEnvelope
+//	POST   /v1/sweeps      submit a grid sweep          → 202 JobEnvelope
+//	GET    /v1/runs/{id}   poll any job                 → 200 JobEnvelope
+//	DELETE /v1/runs/{id}   cancel a job                 → 200 JobEnvelope
+//	GET    /v1/engines     axes: engines, benchmarks, layouts
+//	GET    /healthz        queue, worker and pool saturation metrics
+//
+// (/v1/sweeps/{id} is an alias for /v1/runs/{id}: every job lives in one
+// registry.) Submissions during shutdown get 503, a full queue 429, and
+// both carry a JSON {"error": ...} body.
+package streamfetch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+
+	"streamfetch/internal/par"
+)
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	queueDepth int
+	workers    int
+	retainJobs int
+}
+
+// WithQueueDepth bounds the pending-job queue (default 64). A submission
+// that would exceed it is rejected with ErrQueueFull (HTTP 429) instead of
+// queueing unboundedly.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) { c.queueDepth = n }
+}
+
+// WithWorkers caps concurrently executing jobs (default GOMAXPROCS). Each
+// concurrent job holds one internal/par token, so jobs and the shard
+// workers inside them never oversubscribe the process-wide budget; when
+// the pool has fewer free tokens than the cap, the free-token count is the
+// effective cap — except that one job always runs, token-free on the
+// dispatcher, when nothing else is in flight, so a zero-token box (one
+// core) still makes progress.
+func WithWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// WithJobRetention bounds how many finished jobs (their envelopes, reports
+// and sweep cells) stay pollable (default 1024). Older terminal jobs are
+// evicted oldest-first and answer 404, keeping a long-lived daemon's
+// memory bounded however many jobs it serves.
+func WithJobRetention(n int) ServerOption {
+	return func(c *serverConfig) { c.retainJobs = n }
+}
+
+// Server is the streamfetchd service: a job queue, a worker pool and a
+// session cache behind an http.Handler. Create with NewServer, mount
+// Handler, and Shutdown to drain.
+type Server struct {
+	mgr *jobManager
+	mux *http.ServeMux
+}
+
+// NewServer builds a service instance and starts its worker pool.
+func NewServer(opts ...ServerOption) *Server {
+	cfg := serverConfig{queueDepth: 64, workers: runtime.GOMAXPROCS(0), retainJobs: 1024}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{mgr: newJobManager(cfg.queueDepth, cfg.workers, cfg.retainJobs)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: new submissions are rejected with 503
+// immediately, queued and in-flight jobs run to completion, and every
+// worker goroutine exits before return. If ctx expires first, remaining
+// jobs are cancelled (they finish as cancelled, releasing their pool
+// tokens) and ctx's error is returned once the workers have unwound.
+// Polling endpoints keep answering throughout, so clients can collect
+// results while the service drains.
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.shutdown(ctx) }
+
+// Health is the GET /healthz body: liveness plus the saturation metrics
+// that matter for capacity (queue fill and par-pool usage).
+type Health struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Workers    int    `json:"workers"`
+
+	JobsQueued   int `json:"jobs_queued"`
+	JobsRunning  int `json:"jobs_running"`
+	JobsFinished int `json:"jobs_finished"`
+
+	Sessions int `json:"sessions"`
+
+	// ParInUse is the claimed extra-worker tokens of the process-wide
+	// simulation pool; ParBudget its capacity (GOMAXPROCS-1 by default).
+	// Total simulation concurrency is at most ParInUse+1.
+	ParInUse  int `json:"par_in_use"`
+	ParBudget int `json:"par_budget"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.mgr
+	m.mu.Lock()
+	status := "ok"
+	if m.draining {
+		status = "draining"
+	}
+	depth := len(m.queue)
+	capQ := cap(m.queue)
+	m.mu.Unlock()
+	queued, running, finished := m.counts()
+	writeJSON(w, http.StatusOK, Health{
+		Status:       status,
+		QueueDepth:   depth,
+		QueueCap:     capQ,
+		Workers:      m.workers,
+		JobsQueued:   queued,
+		JobsRunning:  running,
+		JobsFinished: finished,
+		Sessions:     m.sessions.size(),
+		ParInUse:     par.InUse(),
+		ParBudget:    par.Budget(),
+	})
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Engines    []string `json:"engines"`
+		Benchmarks []string `json:"benchmarks"`
+		Layouts    []string `json:"layouts"`
+	}{Engines(), Benchmarks(), Layouts()})
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	j, err := s.mgr.newRunJob(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.envelope())
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	j, err := s.mgr.newSweepJob(req)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.envelope())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.mgr.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.envelope())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.mgr.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job id"))
+		return
+	}
+	s.mgr.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.envelope())
+}
+
+// submitStatus maps a submission error to its HTTP status: shutdown 503,
+// backpressure 429, anything else a client error.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeBody strictly decodes a JSON request body, rejecting unknown
+// fields so config typos fail loudly instead of silently running defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A failed write means the client went away; there is no one to tell.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -153,6 +153,15 @@ func (s *Session) key() prepKey {
 	return prepKey{s.benchmark, s.traceFile, s.traceData, s.seed, s.trainSeed, s.insts, s.trainInsts}
 }
 
+// Session defaults, shared with the service's session-cache key
+// (prepSpec) so "default by omission" and "default spelled out" stay one
+// configuration everywhere.
+const (
+	defaultSeed      = 99
+	defaultTrainSeed = 7
+	defaultInsts     = 2_000_000
+)
+
 // New builds a session for one benchmark with the paper's defaults: 8-wide
 // pipe, the streams engine, base layout, reference seed 99 (train seed 7),
 // and a 2M-instruction trace. Configuration errors surface from
@@ -163,9 +172,9 @@ func New(benchmark string, opts ...Option) *Session {
 		width:      8,
 		engine:     "streams",
 		layoutName: "base",
-		seed:       99,
-		trainSeed:  7,
-		insts:      2_000_000,
+		seed:       defaultSeed,
+		trainSeed:  defaultTrainSeed,
+		insts:      defaultInsts,
 		prep:       &prepared{},
 	}
 	for _, o := range opts {
