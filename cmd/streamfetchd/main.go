@@ -9,6 +9,15 @@
 // Usage:
 //
 //	streamfetchd [-addr :8329] [-queue 64] [-workers 0] [-drain 60s]
+//	             [-store-dir DIR] [-session-cache 64]
+//
+// With -store-dir the daemon is durable: accepted jobs are journaled
+// (fsync'd) before the 202, terminal results become content-addressed
+// blobs, identical requests are answered from the cache or coalesced onto
+// an in-flight twin, and a daemon restarted on the same directory
+// re-enqueues unfinished journaled jobs and keeps serving finished ones.
+// Without it the same caching and coalescing run on an in-memory store
+// that dies with the process.
 //
 // Endpoints (see the streamfetch package docs and README for bodies):
 //
@@ -17,11 +26,12 @@
 //	GET    /v1/runs/{id}  poll status/progress; carries the Report when done
 //	DELETE /v1/runs/{id}  cancel
 //	GET    /v1/engines    list engines, benchmarks and layouts
-//	GET    /healthz       queue depth, worker and pool saturation
+//	GET    /healthz       queue depth, worker, pool and store metrics
 //
 // On SIGINT/SIGTERM the daemon drains: new submissions get 503 while
 // queued and in-flight jobs finish (bounded by -drain, after which they
-// are cancelled), polls keep answering, then the process exits.
+// are cancelled — and, with -store-dir, re-enqueued by the next start),
+// polls keep answering, then the process exits.
 package main
 
 import (
@@ -43,12 +53,22 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded job queue depth (full queue: HTTP 429)")
 	workers := flag.Int("workers", 0, "max concurrently executing jobs (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 60*time.Second, "graceful shutdown drain timeout")
+	storeDir := flag.String("store-dir", "", "durable store directory: job journal + content-addressed result cache (empty = in-memory)")
+	sessionCache := flag.Int("session-cache", 64, "prepared-session LRU capacity (must be positive)")
 	flag.Parse()
 
-	srv := streamfetch.NewServer(
+	opts := []streamfetch.ServerOption{
 		streamfetch.WithQueueDepth(*queue),
 		streamfetch.WithWorkers(*workers),
-	)
+		streamfetch.WithSessionCacheSize(*sessionCache),
+	}
+	if *storeDir != "" {
+		opts = append(opts, streamfetch.WithStoreDir(*storeDir))
+	}
+	srv, err := streamfetch.NewServer(opts...)
+	if err != nil {
+		log.Fatalf("streamfetchd: %v", err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
@@ -57,8 +77,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("streamfetchd listening on %s (queue %d, workers flag %d)",
-		*addr, *queue, *workers)
+	storeDesc := "in-memory store"
+	if *storeDir != "" {
+		storeDesc = "store " + *storeDir
+	}
+	log.Printf("streamfetchd listening on %s (queue %d, workers flag %d, %s)",
+		*addr, *queue, *workers, storeDesc)
 
 	select {
 	case err := <-errc:

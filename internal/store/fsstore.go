@@ -1,0 +1,293 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the filesystem Store: crash-safe persistence under one
+// directory, shareable by successive daemon processes (restart/resume)
+// or by several daemons mounting the same path.
+//
+// Layout:
+//
+//	<dir>/journal.log      append-only JSON lines, fsync'd per record
+//	<dir>/blobs/ab/abc...  result blobs, named by content hash
+//
+// Crash safety: journal records are fsync'd before Journal returns, so
+// an acknowledged submission survives power loss; a record torn by a
+// crash mid-write can only be the file's final line, which Open seals
+// (so later appends start clean) and Recover ignores. Blobs are written
+// to a temp file, fsync'd, and atomically renamed into place — readers
+// never observe a partial blob, and a crash leaves at worst an orphaned
+// temp file that the next Open sweeps.
+type FS struct {
+	dir string
+
+	mu      sync.Mutex
+	journal *os.File
+	// Incrementally maintained stats (rebuilt from disk at Open).
+	records   int
+	pending   map[string]struct{} // journaled, not yet terminal
+	journalB  int64
+	blobCount int
+	blobB     int64
+}
+
+const (
+	journalName = "journal.log"
+	blobsDir    = "blobs"
+	tmpPrefix   = "tmp-"
+)
+
+// Open opens (creating as needed) a filesystem store rooted at dir.
+func Open(dir string) (*FS, error) {
+	if err := os.MkdirAll(filepath.Join(dir, blobsDir), 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &FS{dir: dir, pending: map[string]struct{}{}}
+	if err := s.sealJournal(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.journal = f
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FS) Name() string        { return "fs" }
+func (s *FS) Dir() string         { return s.dir }
+func (s *FS) journalPath() string { return filepath.Join(s.dir, journalName) }
+
+// sealJournal terminates a torn final record left by a crash mid-append:
+// if the journal does not end in a newline, one is appended (and synced)
+// so the broken line stays isolated from future records. Recover treats
+// the unparsable line as noise.
+func (s *FS) sealJournal() error {
+	f, err := os.OpenFile(s.journalPath(), os.O_RDWR, 0)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.WriteAt([]byte{'\n'}, st.Size()); err != nil {
+		return fmt.Errorf("store: sealing torn journal: %w", err)
+	}
+	return f.Sync()
+}
+
+// scan rebuilds the incremental stats from disk and sweeps orphaned blob
+// temp files left by a crash mid-PutBlob.
+func (s *FS) scan() error {
+	recs, err := s.readJournal()
+	if err != nil {
+		return err
+	}
+	s.records = len(recs)
+	for _, rec := range replay(recs) {
+		if !Terminal(rec.State) {
+			s.pending[rec.ID] = struct{}{}
+		}
+	}
+	if st, err := os.Stat(s.journalPath()); err == nil {
+		s.journalB = st.Size()
+	}
+	return filepath.WalkDir(filepath.Join(s.dir, blobsDir), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if len(d.Name()) >= len(tmpPrefix) && d.Name()[:len(tmpPrefix)] == tmpPrefix {
+			os.Remove(path) // crash orphan; the rename never happened
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			s.blobCount++
+			s.blobB += info.Size()
+		}
+		return nil
+	})
+}
+
+// readJournal parses every complete record, skipping unparsable lines
+// (at most the sealed torn tail of a crashed process).
+func (s *FS) readJournal() ([]JournalRecord, error) {
+	f, err := os.Open(s.journalPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var recs []JournalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		var rec JournalRecord
+		if json.Unmarshal(sc.Bytes(), &rec) != nil || rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading journal: %w", err)
+	}
+	return recs, nil
+}
+
+func (s *FS) Journal(rec JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return errors.New("store: journal closed")
+	}
+	if _, err := s.journal.Write(line); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: journal fsync: %w", err)
+	}
+	s.records++
+	s.journalB += int64(len(line))
+	if Terminal(rec.State) {
+		delete(s.pending, rec.ID)
+	} else {
+		s.pending[rec.ID] = struct{}{}
+	}
+	return nil
+}
+
+func (s *FS) Recover() ([]JournalRecord, error) {
+	recs, err := s.readJournal()
+	if err != nil {
+		return nil, err
+	}
+	return replay(recs), nil
+}
+
+// blobPath shards blobs by the key's first byte so one directory never
+// accumulates the whole cache.
+func (s *FS) blobPath(key string) (string, error) {
+	if len(key) < 3 || filepath.Base(key) != key {
+		return "", fmt.Errorf("store: invalid blob key %q", key)
+	}
+	return filepath.Join(s.dir, blobsDir, key[:2], key), nil
+}
+
+func (s *FS) PutBlob(key string, data []byte) error {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: already stored
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Write-to-temp, fsync, rename: the final name only ever points at a
+	// complete blob, and concurrent writers of one key race benignly
+	// (identical content, last rename wins).
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	// Persist the rename itself (best effort: not every platform lets a
+	// directory be fsync'd).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.mu.Lock()
+	s.blobCount++
+	s.blobB += int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *FS) GetBlob(key string) ([]byte, bool, error) {
+	path, err := s.blobPath(key)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return b, true, nil
+}
+
+func (s *FS) Stats() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		JournalRecords: s.records,
+		JournalDepth:   len(s.pending),
+		Blobs:          s.blobCount,
+		Bytes:          s.journalB + s.blobB,
+	}, nil
+}
+
+func (s *FS) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reopen closes a store and opens a fresh one on the same directory, the
+// way a restarted daemon would.
+func reopen(t *testing.T, s *FS) *FS {
+	t.Helper()
+	dir := s.Dir()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestFSPersistence: journal records and blobs written by one process
+// generation are visible to the next.
+func TestFSPersistence(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal(rec("run-000001", "queued", "k1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBlob(Key("x"), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s = reopen(t, s)
+	recs, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "run-000001" || recs[0].State != "queued" {
+		t.Fatalf("recovered %+v", recs)
+	}
+	if b, ok, err := s.GetBlob(Key("x")); err != nil || !ok || string(b) != "payload" {
+		t.Fatalf("blob after reopen: %q ok=%v err=%v", b, ok, err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalRecords != 1 || st.JournalDepth != 1 || st.Blobs != 1 || st.Bytes <= 0 {
+		t.Errorf("stats after reopen = %+v", st)
+	}
+}
+
+// TestFSTornJournalTail: a crash mid-append leaves a partial final line;
+// Open must seal it, Recover must ignore it, and subsequent appends must
+// parse cleanly — earlier records stay intact throughout.
+func TestFSTornJournalTail(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Journal(rec("run-000001", "queued", "k1")); err != nil {
+		t.Fatal(err)
+	}
+	dir := s.Dir()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn write: an unterminated half-record at EOF.
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"run-000002","state":"qu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatalf("Open on torn journal: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	recs, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "run-000001" {
+		t.Fatalf("recovered %+v, want only the intact record", recs)
+	}
+	// The next append must land on its own line, not glued to the tear.
+	if err := s.Journal(rec("run-000003", "queued", "k3")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].ID != "run-000003" {
+		t.Fatalf("after post-tear append, recovered %+v", recs)
+	}
+}
+
+// TestFSBlobTempOrphanSweep: a crash between temp-write and rename
+// leaves an orphan that must never surface as a blob and is cleaned by
+// the next Open.
+func TestFSBlobTempOrphanSweep(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("orphaned")
+	shard := filepath.Join(s.Dir(), blobsDir, key[:2])
+	if err := os.MkdirAll(shard, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, tmpPrefix+"1234")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s = reopen(t, s)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned temp blob survived reopen")
+	}
+	if _, ok, err := s.GetBlob(key); err != nil || ok {
+		t.Errorf("orphan visible as blob: ok=%v err=%v", ok, err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blobs != 0 {
+		t.Errorf("stats count orphans: %+v", st)
+	}
+}
+
+// TestFSBlobKeyValidation: path-escaping or degenerate keys are rejected
+// instead of touching the filesystem outside the blob root.
+func TestFSBlobKeyValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for _, key := range []string{"", "ab", "../../etc/passwd", "a/b", "x" + string(os.PathSeparator) + "y"} {
+		if err := s.PutBlob(key, []byte("x")); err == nil || !strings.Contains(err.Error(), "invalid blob key") {
+			t.Errorf("PutBlob(%q) err = %v, want invalid-key error", key, err)
+		}
+		if _, _, err := s.GetBlob(key); err == nil {
+			t.Errorf("GetBlob(%q) accepted an invalid key", key)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"slices"
+	"sync"
+)
+
+// Mem is the in-memory Store: the default backend, and the test double
+// for the durable ones. It provides the same journal/blob semantics with
+// process lifetime — a daemon on Mem keeps the full caching and
+// coalescing behaviour but starts empty after a restart.
+type Mem struct {
+	mu    sync.Mutex
+	recs  []JournalRecord
+	blobs map[string][]byte
+	bytes int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{blobs: map[string][]byte{}}
+}
+
+func (s *Mem) Name() string { return "mem" }
+
+func (s *Mem) Journal(rec JournalRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Clone the raw payloads so a caller reusing its buffers cannot
+	// mutate journaled history.
+	rec.Request = slices.Clone(rec.Request)
+	rec.Envelope = slices.Clone(rec.Envelope)
+	s.recs = append(s.recs, rec)
+	s.bytes += int64(len(rec.Request) + len(rec.Envelope))
+	return nil
+}
+
+func (s *Mem) Recover() ([]JournalRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return replay(s.recs), nil
+}
+
+func (s *Mem) PutBlob(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[key]; ok {
+		return nil // content-addressed: same key, same bytes
+	}
+	s.blobs[key] = slices.Clone(data)
+	s.bytes += int64(len(data))
+	return nil
+}
+
+func (s *Mem) GetBlob(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return slices.Clone(b), true, nil
+}
+
+func (s *Mem) Stats() (Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		JournalRecords: len(s.recs),
+		JournalDepth:   pendingCount(s.recs),
+		Blobs:          len(s.blobs),
+		Bytes:          s.bytes,
+	}, nil
+}
+
+func (s *Mem) Close() error { return nil }

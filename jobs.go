@@ -15,22 +15,31 @@
 package streamfetch
 
 import (
+	"cmp"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"slices"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamfetch/internal/par"
+	"streamfetch/internal/store"
 )
 
-// Submission errors, mapped to HTTP statuses by the server (503 and 429).
+// Submission errors, mapped to HTTP statuses by the server (503, 429 and
+// 500).
 var (
 	ErrDraining  = errors.New("streamfetch: server is draining, not accepting jobs")
 	ErrQueueFull = errors.New("streamfetch: job queue is full")
+	// ErrStore wraps a journal write that failed at submission time: the
+	// job was not accepted, because an acknowledged job must be durable.
+	ErrStore = errors.New("streamfetch: store write failed")
 )
 
 // GridCell is one (benchmark, layout, engine, width) outcome of RunGrid.
@@ -295,8 +304,115 @@ func (r *SweepRequest) prepSpec(benchmark string) prepSpec {
 	return prepSpec{benchmark, r.Seed, r.TrainSeed, r.Insts, r.TrainInsts}.normalized()
 }
 
-// maxCachedSessions bounds the session cache: enough for a broad working
-// set (the full 11-benchmark suite at several seed/length configurations)
+// runKeySpec is the canonical identity of a run's output: every semantic
+// field of a RunRequest with defaults resolved, so "default by omission"
+// and "default spelled out" hash to one content key. Runs are
+// deterministic for a fixed spec — same spec, byte-identical Report —
+// which is what makes the key sound as a cache address and a coalescing
+// handle. V versions the schema: bump it when report-affecting semantics
+// change so stale blobs miss instead of serving wrong-shaped results.
+type runKeySpec struct {
+	V          int    `json:"v"`
+	Kind       string `json:"kind"`
+	Benchmark  string `json:"benchmark"`
+	Engine     string `json:"engine"`
+	Layout     string `json:"layout"`
+	Width      int    `json:"width"`
+	Seed       uint64 `json:"seed"`
+	TrainSeed  uint64 `json:"train_seed"`
+	Insts      uint64 `json:"insts"`
+	TrainInsts uint64 `json:"train_insts"`
+	MaxInsts   uint64 `json:"max_insts"`
+	Shards     int    `json:"shards"`
+	Warmup     uint64 `json:"warmup"`
+	ColdShards bool   `json:"cold_shards"`
+	LineBytes  int    `json:"line_bytes"`
+}
+
+// contentKey hashes the request's normalized semantic fields. Call only
+// after validate.
+func (r *RunRequest) contentKey() string {
+	p := r.prepSpec()
+	k := runKeySpec{
+		V:    1,
+		Kind: "run",
+
+		Benchmark:  p.benchmark,
+		Seed:       p.seed,
+		TrainSeed:  p.trainSeed,
+		Insts:      p.insts,
+		TrainInsts: p.trainInsts,
+
+		Engine:     cmp.Or(r.Engine, defaultEngine),
+		Layout:     cmp.Or(r.Layout, defaultLayout),
+		Width:      cmp.Or(r.Width, defaultWidth),
+		MaxInsts:   r.MaxInsts,
+		Shards:     max(r.Shards, 1),
+		Warmup:     r.Warmup,
+		ColdShards: r.ColdShards,
+		LineBytes:  r.ICacheLineBytes,
+	}
+	// Warmup and cold-shard mode only shape sharded runs; an unsharded
+	// run ignores them, so they must not split its key space.
+	if k.Shards <= 1 {
+		k.Warmup = 0
+		k.ColdShards = false
+	}
+	return store.Key(k)
+}
+
+// sweepKeySpec is the canonical identity of a sweep's cells. Axis order
+// is semantic (cells return in enumeration order), so the slices hash
+// as given — after normalize has resolved empty axes to the full lists.
+type sweepKeySpec struct {
+	V          int      `json:"v"`
+	Kind       string   `json:"kind"`
+	Benchmarks []string `json:"benchmarks"`
+	Layouts    []string `json:"layouts"`
+	Engines    []string `json:"engines"`
+	Widths     []int    `json:"widths"`
+	Seed       uint64   `json:"seed"`
+	TrainSeed  uint64   `json:"train_seed"`
+	Insts      uint64   `json:"insts"`
+	TrainInsts uint64   `json:"train_insts"`
+	MaxInsts   uint64   `json:"max_insts"`
+	Shards     int      `json:"shards"`
+	Warmup     uint64   `json:"warmup"`
+	ColdShards bool     `json:"cold_shards"`
+}
+
+// contentKey hashes the sweep's normalized identity. Call only after
+// normalize (which fills defaulted axes).
+func (r *SweepRequest) contentKey() string {
+	p := r.prepSpec(r.Benchmarks[0])
+	k := sweepKeySpec{
+		V:    1,
+		Kind: "sweep",
+
+		Benchmarks: r.Benchmarks,
+		Layouts:    r.Layouts,
+		Engines:    r.Engines,
+		Widths:     r.Widths,
+
+		Seed:       p.seed,
+		TrainSeed:  p.trainSeed,
+		Insts:      p.insts,
+		TrainInsts: p.trainInsts,
+		MaxInsts:   r.MaxInsts,
+		Shards:     max(r.Shards, 1),
+		Warmup:     r.Warmup,
+		ColdShards: r.ColdShards,
+	}
+	if k.Shards <= 1 {
+		k.Warmup = 0
+		k.ColdShards = false
+	}
+	return store.Key(k)
+}
+
+// maxCachedSessions is the default session-cache bound
+// (WithSessionCacheSize overrides it): enough for a broad working set
+// (the full 11-benchmark suite at several seed/length configurations)
 // while keeping a long-lived daemon's prepared-artifact memory bounded
 // against clients that sweep the key space (e.g. a fresh seed per
 // request).
@@ -348,6 +464,15 @@ func (c *sessionCache) size() int {
 	return len(c.m)
 }
 
+func (c *sessionCache) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return maxCachedSessions
+	}
+	return c.cap
+}
+
 // jobFunc executes one job under its context, returning a report (run
 // jobs) or cells (sweep jobs).
 type jobFunc func(ctx context.Context) (*Report, []GridCell, error)
@@ -356,6 +481,11 @@ type jobFunc func(ctx context.Context) (*Report, []GridCell, error)
 type job struct {
 	id   string
 	kind string // "run" or "sweep"
+	// key is the content hash of the normalized request (the store-cache
+	// address of its result); reqJSON the submitted body, journaled so a
+	// restart can re-enqueue the job.
+	key     string
+	reqJSON json.RawMessage
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -370,6 +500,16 @@ type job struct {
 	report   *Report
 	cells    []GridCell
 	err      error
+	// cached marks a job answered from the result cache (terminal at
+	// submission, never enqueued); userCancel distinguishes an explicit
+	// DELETE from a shutdown interruption — only the former journals a
+	// terminal record, so interrupted jobs re-run after a restart.
+	cached     bool
+	userCancel bool
+	// restored is the terminal envelope recovered from the journal for
+	// jobs that finished in a previous process generation; when set it is
+	// served as-is.
+	restored *JobEnvelope
 
 	pmu        sync.Mutex
 	shardRet   map[int]uint64 // retired per reporting shard (key 0 unsharded)
@@ -433,10 +573,17 @@ func (j *job) finish(state JobState, rep *Report, cells []GridCell, err error) {
 func (j *job) envelope() *JobEnvelope {
 	now := time.Now()
 	j.mu.Lock()
+	if j.restored != nil {
+		env := *j.restored
+		j.mu.Unlock()
+		return &env
+	}
 	env := &JobEnvelope{
 		ID:         j.id,
 		Kind:       j.kind,
 		State:      j.state,
+		Key:        j.key,
+		Cached:     j.cached,
 		EnqueuedAt: j.enqueued,
 		StartedAt:  j.started,
 		FinishedAt: j.finished,
@@ -475,7 +622,8 @@ func (j *job) envelope() *JobEnvelope {
 	return env
 }
 
-// jobManager owns the queue, the registry and the worker pool.
+// jobManager owns the queue, the registry, the worker pool and the
+// durability store.
 type jobManager struct {
 	workers int
 	retain  int // terminal jobs kept in the registry
@@ -490,15 +638,37 @@ type jobManager struct {
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*job
-	done     []string // terminal job ids, oldest first, for eviction
+	done     []string        // terminal job ids, oldest first, for eviction
+	inflight map[string]*job // non-terminal jobs by content key, for coalescing
 	nextID   int
 
 	spawned atomic.Int64 // token-held extra job runners in flight
 
 	sessions sessionCache
+
+	store     store.Store
+	ownStore  bool // close the store at shutdown (we opened it)
+	closeOnce sync.Once
+
+	hits      atomic.Int64 // submissions answered from the result cache
+	misses    atomic.Int64 // submissions that enqueued a simulation
+	coalesced atomic.Int64 // submissions folded into an in-flight twin
+	storeErrs atomic.Int64 // post-acceptance journal/blob write failures
+
+	// runHook, when set, observes each job body that actually executes a
+	// simulation (test seam for coalescing/caching assertions: coalesced
+	// and cached submissions never trigger it). Set before any
+	// submission.
+	runHook func(kind string)
 }
 
-func newJobManager(queueDepth, workers, retain int) *jobManager {
+// newJobManager builds the manager and replays the store's journal:
+// terminal jobs are registered so their results keep serving, journaled
+// unfinished jobs are re-enqueued ahead of any new submission. The queue
+// is sized to hold the full recovery debt even when it exceeds
+// queueDepth, so a restart never drops journaled work.
+func newJobManager(cfg serverConfig, st store.Store, ownStore bool) (*jobManager, error) {
+	queueDepth, workers, retain := cfg.queueDepth, cfg.workers, cfg.retainJobs
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
@@ -508,35 +678,247 @@ func newJobManager(queueDepth, workers, retain int) *jobManager {
 	if retain <= 0 {
 		retain = 1024
 	}
+	recs, err := st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	pending := 0
+	for _, rec := range recs {
+		if !store.Terminal(rec.State) {
+			pending++
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
 		workers:  workers,
 		retain:   retain,
 		baseCtx:  ctx,
 		stopAll:  cancel,
-		queue:    make(chan *job, queueDepth),
+		queue:    make(chan *job, max(queueDepth, pending)),
 		slotFree: make(chan struct{}, 1),
 		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
+		store:    st,
+		ownStore: ownStore,
 	}
+	m.sessions.cap = cfg.sessionCap
+	for _, rec := range recs {
+		m.restore(rec)
+	}
+	m.trimDoneLocked() // recovered terminal jobs count against retention
 	m.wg.Add(1)
 	go m.dispatch()
-	return m
+	return m, nil
 }
 
-// submit creates a job (build receives it so run closures can reference
-// their own job for progress reporting) and enqueues it, rejecting when
-// draining or full.
-func (m *jobManager) submit(kind string, build func(*job) jobFunc) (*job, error) {
+// jobSeq extracts the numeric suffix of a job id ("run-000042" → 42).
+func jobSeq(id string) (int, bool) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	return n, err == nil
+}
+
+// restore registers one recovered journal record: the terminal envelope
+// of a finished job, or a re-enqueued job rebuilt from its journaled
+// request. Runs before the dispatcher starts, so no locking.
+func (m *jobManager) restore(rec store.JournalRecord) {
+	if _, dup := m.jobs[rec.ID]; dup {
+		return
+	}
+	if n, ok := jobSeq(rec.ID); ok && n > m.nextID {
+		m.nextID = n
+	}
+	if store.Terminal(rec.State) {
+		var env JobEnvelope
+		if json.Unmarshal(rec.Envelope, &env) != nil || env.ID == "" {
+			return // pre-seal noise; nothing servable
+		}
+		j := &job{id: rec.ID, kind: rec.Kind, key: rec.Key,
+			state: JobState(rec.State), restored: &env, done: closedChan()}
+		m.jobs[rec.ID] = j
+		m.done = append(m.done, rec.ID)
+		return
+	}
+
+	// An accepted job with no terminal record is owed a run. If its
+	// result landed in the cache meanwhile (a twin completed, or the
+	// process died between the blob write and the terminal journal
+	// record), answer from the cache instead of re-simulating.
+	if rec.Key != "" {
+		if blob, ok, err := m.store.GetBlob(rec.Key); err == nil && ok {
+			if j := m.cachedJob(rec.ID, rec.Kind, rec.Key, blob); j != nil {
+				m.hits.Add(1)
+				m.jobs[rec.ID] = j
+				m.done = append(m.done, rec.ID)
+				m.journal(j, JobDone)
+				return
+			}
+		}
+	}
+
+	var build func(*job) jobFunc
+	switch rec.Kind {
+	case "run":
+		var req RunRequest
+		if json.Unmarshal(rec.Request, &req) == nil && req.validate() == nil {
+			build = m.runJobFunc(req)
+		}
+	case "sweep":
+		var req SweepRequest
+		if json.Unmarshal(rec.Request, &req) == nil && req.normalize() == nil {
+			build = m.sweepJobFunc(req)
+		}
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		id:       rec.ID,
+		kind:     rec.Kind,
+		key:      rec.Key,
+		reqJSON:  rec.Request,
+		state:    JobQueued,
+		enqueued: rec.Time,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	if build == nil {
+		// The journaled request no longer parses or validates (schema
+		// drift, disk corruption inside an intact line): surface a failed
+		// terminal job rather than dropping the id.
+		cancel()
+		j.state = JobFailed
+		j.finished = time.Now()
+		j.err = errors.New("streamfetch: journaled request is not recoverable")
+		close(j.done)
+		m.jobs[rec.ID] = j
+		m.done = append(m.done, rec.ID)
+		m.journal(j, JobFailed)
+		return
+	}
+	j.run = build(j)
+	m.jobs[rec.ID] = j
+	if rec.Key != "" {
+		m.inflight[rec.Key] = j
+	}
+	m.queue <- j // sized for the full recovery debt; cannot block
+}
+
+// closedChan returns an already-closed done channel for jobs that are
+// terminal at construction.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// cachedJob builds a terminal job from a cached result blob, or nil when
+// the blob does not decode as the kind's payload.
+func (m *jobManager) cachedJob(id, kind, key string, blob []byte) *job {
+	j := &job{
+		id:     id,
+		kind:   kind,
+		key:    key,
+		state:  JobDone,
+		cached: true,
+		done:   closedChan(),
+	}
+	now := time.Now()
+	j.enqueued, j.finished = now, now
+	switch kind {
+	case "run":
+		var rep Report
+		if json.Unmarshal(blob, &rep) != nil || rep.Benchmark == "" {
+			return nil
+		}
+		j.report = &rep
+	case "sweep":
+		var cells []GridCell
+		if json.Unmarshal(blob, &cells) != nil || len(cells) == 0 {
+			return nil
+		}
+		j.cells = cells
+	default:
+		return nil
+	}
+	return j
+}
+
+// journal appends one record for the job's current state, counting (not
+// failing on) write errors: past acceptance, a degraded store must not
+// take down serving. Terminal records carry the envelope, non-terminal
+// ones the request.
+func (m *jobManager) journal(j *job, state JobState) {
+	rec := store.JournalRecord{
+		ID:    j.id,
+		Kind:  j.kind,
+		Key:   j.key,
+		State: string(state),
+		Time:  time.Now(),
+	}
+	if state.Terminal() {
+		env, err := json.Marshal(j.envelope())
+		if err != nil {
+			m.storeErrs.Add(1)
+			return
+		}
+		rec.Envelope = env
+	} else {
+		rec.Request = j.reqJSON
+	}
+	if err := m.store.Journal(rec); err != nil {
+		m.storeErrs.Add(1)
+	}
+}
+
+// submit accepts one job: answered from the result cache (terminal
+// immediately, never enqueued), coalesced onto an identical in-flight
+// job (same job returned), or journaled and enqueued as a fresh job —
+// rejecting when draining or full. build receives the job so run
+// closures can reference it for progress reporting.
+func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) jobFunc) (*job, error) {
+	// Cache lookup outside the registry lock: blob reads may touch disk.
+	var cachedBlob []byte
+	if key != "" {
+		if blob, ok, err := m.store.GetBlob(key); err == nil && ok {
+			cachedBlob = blob
+		}
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
 	}
+	if leader := m.inflight[key]; leader != nil && key != "" {
+		// An identical job is queued or running: one simulation, fan-out
+		// of the result. The submitter shares the leader's id (and its
+		// cancellation — DELETE cancels for every submitter).
+		m.coalesced.Add(1)
+		return leader, nil
+	}
 	m.nextID++
+	id := fmt.Sprintf("%s-%06d", kind, m.nextID)
+
+	if cachedBlob != nil {
+		if j := m.cachedJob(id, kind, key, cachedBlob); j != nil {
+			m.hits.Add(1)
+			m.jobs[id] = j
+			m.done = append(m.done, id)
+			m.trimDoneLocked()
+			m.journal(j, JobDone) // restarts keep serving it
+			return j, nil
+		}
+	}
+
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &job{
-		id:       fmt.Sprintf("%s-%06d", kind, m.nextID),
+		id:       id,
 		kind:     kind,
+		key:      key,
+		reqJSON:  reqJSON,
 		state:    JobQueued,
 		enqueued: time.Now(),
 		ctx:      ctx,
@@ -544,40 +926,57 @@ func (m *jobManager) submit(kind string, build func(*job) jobFunc) (*job, error)
 		done:     make(chan struct{}),
 	}
 	j.run = build(j)
-	select {
-	case m.queue <- j:
-	default:
+	// Only this lock admits producers, so a spot measured now cannot be
+	// taken by anyone else; the dispatcher only drains. Checking before
+	// journaling keeps rejected submissions out of the journal — a
+	// journaled job is a promise to run it.
+	if len(m.queue) >= cap(m.queue) {
 		cancel()
 		return nil, ErrQueueFull
 	}
-	m.jobs[j.id] = j
+	if err := m.store.Journal(store.JournalRecord{
+		ID: id, Kind: kind, Key: key, State: string(JobQueued),
+		Time: j.enqueued, Request: reqJSON,
+	}); err != nil {
+		// The 202 is a durability promise; without the journal record the
+		// job would silently vanish in a crash. Refuse instead.
+		cancel()
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.queue <- j
+	m.jobs[id] = j
+	if key != "" {
+		m.inflight[key] = j
+	}
+	m.misses.Add(1)
 	return j, nil
 }
 
-// newRunJob validates and enqueues a single-configuration run.
-func (m *jobManager) newRunJob(req RunRequest) (*job, error) {
-	if err := req.validate(); err != nil {
-		return nil, err
-	}
-	return m.submit("run", func(j *job) jobFunc {
+// runJobFunc builds the executable body of a single-configuration run.
+func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
+	return func(j *job) jobFunc {
 		return func(ctx context.Context) (*Report, []GridCell, error) {
+			if h := m.runHook; h != nil {
+				h("run")
+			}
 			sess := m.sessions.get(req.prepSpec())
 			opts := append(req.runOptions(), WithProgress(0, j.noteProgress))
 			rep, err := sess.RunWith(ctx, opts...)
 			return rep, nil, err
 		}
-	})
+	}
 }
 
-// newSweepJob validates and enqueues a grid sweep as one job.
-func (m *jobManager) newSweepJob(req SweepRequest) (*job, error) {
-	if err := req.normalize(); err != nil {
-		return nil, err
-	}
+// sweepJobFunc builds the executable body of a grid sweep. req must be
+// normalized.
+func (m *jobManager) sweepJobFunc(req SweepRequest) func(*job) jobFunc {
 	total := len(req.Benchmarks) * len(req.Layouts) * len(req.Engines) * len(req.Widths)
-	return m.submit("sweep", func(j *job) jobFunc {
+	return func(j *job) jobFunc {
 		j.cellsTotal = total
 		return func(ctx context.Context) (*Report, []GridCell, error) {
+			if h := m.runHook; h != nil {
+				h("sweep")
+			}
 			sessions := make([]*Session, len(req.Benchmarks))
 			for i, b := range req.Benchmarks {
 				sessions[i] = m.sessions.get(req.prepSpec(b))
@@ -586,7 +985,31 @@ func (m *jobManager) newSweepJob(req SweepRequest) (*job, error) {
 				true, j.noteCell, req.cellOptions()...)
 			return nil, cells, err
 		}
-	})
+	}
+}
+
+// newRunJob validates and submits a single-configuration run.
+func (m *jobManager) newRunJob(req RunRequest) (*job, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return m.submit("run", req.contentKey(), reqJSON, m.runJobFunc(req))
+}
+
+// newSweepJob validates and submits a grid sweep as one job.
+func (m *jobManager) newSweepJob(req SweepRequest) (*job, error) {
+	if err := req.normalize(); err != nil {
+		return nil, err
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return m.submit("sweep", req.contentKey(), reqJSON, m.sweepJobFunc(req))
 }
 
 // get returns a job by id (nil when unknown).
@@ -596,19 +1019,29 @@ func (m *jobManager) get(id string) *job {
 	return m.jobs[id]
 }
 
-// cancelJob cancels one job: a queued job goes terminal immediately and
-// never runs; a running job has its context cancelled and finishes as
-// cancelled once the simulation observes it (its shard workers release
-// their pool tokens on the way out). Terminal jobs are untouched.
+// cancelJob cancels one job on a client's explicit request: a queued job
+// goes terminal immediately and never runs; a running job has its
+// context cancelled and finishes as cancelled once the simulation
+// observes it (its shard workers release their pool tokens on the way
+// out). Terminal jobs are untouched. A coalesced job is one job: DELETE
+// cancels it for every submitter that shares its id.
 func (m *jobManager) cancelJob(j *job) {
 	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.userCancel = true
 	if j.state == JobQueued {
 		j.state = JobCancelled
 		j.finished = time.Now()
 		j.err = context.Canceled
 		j.mu.Unlock()
-		j.cancel()
+		if j.cancel != nil {
+			j.cancel()
+		}
 		close(j.done)
+		m.persist(j)
 		m.retire(j)
 		return
 	}
@@ -620,15 +1053,66 @@ func (m *jobManager) cancelJob(j *job) {
 // the most recent `retain` finished jobs (their envelopes, reports and
 // sweep cells) and evicts the oldest beyond that, so a long-lived daemon's
 // memory is bounded however many jobs it has served. Evicted ids answer
-// 404; a durable result store is a future subsystem.
+// 404 from this process — a daemon on a filesystem store serves them
+// again after a restart, which replays the journal's terminal envelopes.
 func (m *jobManager) retire(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.done = append(m.done, j.id)
+	m.trimDoneLocked()
+}
+
+// trimDoneLocked evicts terminal jobs beyond the retention bound,
+// oldest first. Callers hold m.mu (or run before the dispatcher starts).
+func (m *jobManager) trimDoneLocked() {
 	for len(m.done) > m.retain {
 		delete(m.jobs, m.done[0])
 		m.done = m.done[1:]
 	}
+}
+
+// persist makes a terminal job durable: its result blob lands in the
+// content-addressed cache (successful jobs only — partial or failed
+// output must never be served as a hit) and its envelope is journaled so
+// a restart keeps serving it. The one exception is a job cancelled by
+// shutdown rather than by a client: it stays journaled as accepted, which
+// is exactly what makes a restarted daemon re-enqueue and finish it.
+// Also releases the job's coalescing slot.
+func (m *jobManager) persist(j *job) {
+	j.mu.Lock()
+	state, userCancel := j.state, j.userCancel
+	rep, cells := j.report, j.cells
+	j.mu.Unlock()
+
+	if j.key != "" {
+		m.mu.Lock()
+		if m.inflight[j.key] == j {
+			delete(m.inflight, j.key)
+		}
+		m.mu.Unlock()
+	}
+
+	if state == JobCancelled && !userCancel && m.baseCtx.Err() != nil {
+		return // interrupted by shutdown: the journal still owes it a run
+	}
+
+	if state == JobDone && j.key != "" {
+		var blob []byte
+		var err error
+		switch {
+		case j.kind == "run" && rep != nil && !rep.Aborted:
+			blob, err = json.MarshalIndent(rep, "", "  ")
+		case j.kind == "sweep" && len(cells) > 0:
+			blob, err = json.MarshalIndent(cells, "", "  ")
+		}
+		if err == nil && blob != nil {
+			err = m.store.PutBlob(j.key, append(blob, '\n'))
+		}
+		if err != nil {
+			m.storeErrs.Add(1)
+		}
+	}
+	m.journal(j, state)
 }
 
 // counts tallies job states for the health surface.
@@ -720,6 +1204,7 @@ func (m *jobManager) runJob(j *job) {
 	default:
 		j.finish(JobFailed, rep, cells, err)
 	}
+	m.persist(j)
 	m.retire(j)
 }
 
@@ -739,13 +1224,24 @@ func (m *jobManager) shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		m.stopAll()
-		return nil
 	case <-ctx.Done():
 		m.stopAll()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Workers have unwound: nothing journals or reads blobs anymore, so a
+	// store we opened can close (one installed via WithStore belongs to
+	// the caller).
+	if m.ownStore {
+		m.closeOnce.Do(func() {
+			if cerr := m.store.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		})
+	}
+	return err
 }

@@ -1,6 +1,11 @@
 package streamfetch
 
-import "streamfetch/internal/trace"
+import (
+	"fmt"
+
+	"streamfetch/internal/store"
+	"streamfetch/internal/trace"
+)
 
 // Option configures a Session, either at New or per run through RunWith.
 type Option func(*Session)
@@ -131,4 +136,78 @@ func WithProgress(every uint64, fn func(Progress)) Option {
 		s.progressEvery = every
 		s.onProgress = fn
 	}
+}
+
+// ServerOption configures a Server (see NewServer).
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	queueDepth int
+	workers    int
+	retainJobs int
+	sessionCap int
+	store      store.Store
+	storeDir   string
+	err        error // first invalid option, surfaced by NewServer
+}
+
+// WithQueueDepth bounds the pending-job queue (default 64). A submission
+// that would exceed it is rejected with ErrQueueFull (HTTP 429) instead of
+// queueing unboundedly.
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) { c.queueDepth = n }
+}
+
+// WithWorkers caps concurrently executing jobs (default GOMAXPROCS). Each
+// concurrent job holds one internal/par token, so jobs and the shard
+// workers inside them never oversubscribe the process-wide budget; when
+// the pool has fewer free tokens than the cap, the free-token count is the
+// effective cap — except that one job always runs, token-free on the
+// dispatcher, when nothing else is in flight, so a zero-token box (one
+// core) still makes progress.
+func WithWorkers(n int) ServerOption {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// WithJobRetention bounds how many finished jobs (their envelopes, reports
+// and sweep cells) stay pollable in memory (default 1024). Older terminal
+// jobs are evicted oldest-first and answer 404 — unless a durable store
+// holds them (WithStoreDir), in which case they are served from disk after
+// a restart rather than from the in-memory registry.
+func WithJobRetention(n int) ServerOption {
+	return func(c *serverConfig) { c.retainJobs = n }
+}
+
+// WithSessionCacheSize bounds the prepared-session LRU shared across jobs
+// (default 64): enough for a broad working set while keeping a long-lived
+// daemon's prepared-artifact memory bounded against clients that sweep
+// the key space. n must be positive; NewServer rejects the configuration
+// otherwise.
+func WithSessionCacheSize(n int) ServerOption {
+	return func(c *serverConfig) {
+		if n <= 0 {
+			c.err = fmt.Errorf("streamfetch: session cache size must be positive, got %d", n)
+			return
+		}
+		c.sessionCap = n
+	}
+}
+
+// WithStore installs an explicit durability backend: the job journal and
+// the content-addressed result cache live in st, and the caller owns its
+// lifecycle (Shutdown does not close it). Most callers want WithStoreDir
+// or the default in-memory store instead.
+func WithStore(st store.Store) ServerOption {
+	return func(c *serverConfig) { c.store = st }
+}
+
+// WithStoreDir persists jobs and results under dir using the crash-safe
+// filesystem backend: accepted jobs are journaled (fsync'd) before the
+// 202, terminal results are written as content-addressed blobs, and a
+// server restarted on the same dir re-enqueues journaled unfinished jobs
+// and keeps serving terminal ones. Takes precedence over the
+// STREAMFETCH_STORE_DIR environment variable; WithStore takes precedence
+// over both.
+func WithStoreDir(dir string) ServerOption {
+	return func(c *serverConfig) { c.storeDir = dir }
 }

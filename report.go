@@ -192,6 +192,15 @@ type JobEnvelope struct {
 	Kind  string   `json:"kind"` // "run" or "sweep"
 	State JobState `json:"state"`
 
+	// Key is the content hash of the job's normalized request: the
+	// store-cache address of its result. Jobs agreeing on Key produce
+	// byte-identical results (runs are deterministic for a fixed
+	// configuration), which is what makes coalescing and the Report
+	// cache sound. Cached marks a job answered from the store without
+	// running a simulation.
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+
 	EnqueuedAt time.Time `json:"enqueued_at,omitzero"`
 	StartedAt  time.Time `json:"started_at,omitzero"`
 	FinishedAt time.Time `json:"finished_at,omitzero"`

@@ -3,78 +3,83 @@
 // decode tables) is paid once per configuration and amortized across many
 // requests, the way a serving deployment would want it.
 //
-//	POST   /v1/runs        submit one simulation        → 202 JobEnvelope
-//	POST   /v1/sweeps      submit a grid sweep          → 202 JobEnvelope
+//	POST   /v1/runs        submit one simulation        → 202 JobEnvelope (200 on cache hit)
+//	POST   /v1/sweeps      submit a grid sweep          → 202 JobEnvelope (200 on cache hit)
 //	GET    /v1/runs/{id}   poll any job                 → 200 JobEnvelope
 //	DELETE /v1/runs/{id}   cancel a job                 → 200 JobEnvelope
 //	GET    /v1/engines     axes: engines, benchmarks, layouts
-//	GET    /healthz        queue, worker and pool saturation metrics
+//	GET    /healthz        queue, worker, pool and store metrics
 //
 // (/v1/sweeps/{id} is an alias for /v1/runs/{id}: every job lives in one
 // registry.) Submissions during shutdown get 503, a full queue 429, and
 // both carry a JSON {"error": ...} body.
+//
+// Runs are deterministic for a fixed configuration and seed, so the
+// service answers repeats instead of recomputing them: a submission whose
+// normalized request matches an in-flight job coalesces onto it (same job
+// id, one simulation, shared result — cancelling it cancels for every
+// submitter), and one matching a stored terminal result is answered
+// immediately from the content-addressed cache (a fresh terminal job, 200,
+// Cached set, never enqueued). With a filesystem store (WithStoreDir)
+// accepted jobs are journaled durably before the 202: a restarted daemon
+// re-enqueues journaled unfinished jobs and keeps serving terminal ones
+// from disk.
 package streamfetch
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 
 	"streamfetch/internal/par"
+	"streamfetch/internal/store"
 )
 
-// ServerOption configures a Server.
-type ServerOption func(*serverConfig)
-
-type serverConfig struct {
-	queueDepth int
-	workers    int
-	retainJobs int
-}
-
-// WithQueueDepth bounds the pending-job queue (default 64). A submission
-// that would exceed it is rejected with ErrQueueFull (HTTP 429) instead of
-// queueing unboundedly.
-func WithQueueDepth(n int) ServerOption {
-	return func(c *serverConfig) { c.queueDepth = n }
-}
-
-// WithWorkers caps concurrently executing jobs (default GOMAXPROCS). Each
-// concurrent job holds one internal/par token, so jobs and the shard
-// workers inside them never oversubscribe the process-wide budget; when
-// the pool has fewer free tokens than the cap, the free-token count is the
-// effective cap — except that one job always runs, token-free on the
-// dispatcher, when nothing else is in flight, so a zero-token box (one
-// core) still makes progress.
-func WithWorkers(n int) ServerOption {
-	return func(c *serverConfig) { c.workers = n }
-}
-
-// WithJobRetention bounds how many finished jobs (their envelopes, reports
-// and sweep cells) stay pollable (default 1024). Older terminal jobs are
-// evicted oldest-first and answer 404, keeping a long-lived daemon's
-// memory bounded however many jobs it serves.
-func WithJobRetention(n int) ServerOption {
-	return func(c *serverConfig) { c.retainJobs = n }
-}
-
-// Server is the streamfetchd service: a job queue, a worker pool and a
-// session cache behind an http.Handler. Create with NewServer, mount
-// Handler, and Shutdown to drain.
+// Server is the streamfetchd service: a job queue, a worker pool, a
+// session cache and a durability store behind an http.Handler. Create
+// with NewServer, mount Handler, and Shutdown to drain.
 type Server struct {
 	mgr *jobManager
 	mux *http.ServeMux
 }
 
-// NewServer builds a service instance and starts its worker pool.
-func NewServer(opts ...ServerOption) *Server {
-	cfg := serverConfig{queueDepth: 64, workers: runtime.GOMAXPROCS(0), retainJobs: 1024}
+// NewServer builds a service instance and starts its worker pool,
+// recovering any journaled state from the configured store first: jobs
+// journaled as accepted but never finished are re-enqueued, terminal jobs
+// keep serving their results. The store is, in precedence order, the one
+// installed by WithStore, a filesystem store at the WithStoreDir path, a
+// filesystem store in a fresh subdirectory of $STREAMFETCH_STORE_DIR
+// (a testing knob that exercises the durable backend without sharing
+// state between servers), or an in-memory store.
+func NewServer(opts ...ServerOption) (*Server, error) {
+	cfg := serverConfig{
+		queueDepth: 64,
+		workers:    runtime.GOMAXPROCS(0),
+		retainJobs: 1024,
+		sessionCap: maxCachedSessions,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := &Server{mgr: newJobManager(cfg.queueDepth, cfg.workers, cfg.retainJobs)}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	st, ownStore, err := openStore(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := newJobManager(cfg, st, ownStore)
+	if err != nil {
+		if ownStore {
+			st.Close()
+		}
+		return nil, err
+	}
+	s := &Server{mgr: mgr}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
@@ -84,7 +89,42 @@ func NewServer(opts ...ServerOption) *Server {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	return s, nil
+}
+
+// openStore resolves the configured durability backend. The second
+// return reports ownership: a store the server opened itself is closed at
+// shutdown, one installed via WithStore belongs to the caller.
+func openStore(cfg *serverConfig) (store.Store, bool, error) {
+	switch {
+	case cfg.store != nil:
+		return cfg.store, false, nil
+	case cfg.storeDir != "":
+		st, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return nil, false, err
+		}
+		return st, true, nil
+	}
+	if dir := os.Getenv("STREAMFETCH_STORE_DIR"); dir != "" {
+		// Testing knob: exercise the filesystem backend for every server
+		// without sharing journals (and job ids) between them — each
+		// server gets a fresh subdirectory. Restart/resume needs a stable
+		// path: use WithStoreDir.
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			return nil, false, fmt.Errorf("streamfetch: store dir: %w", err)
+		}
+		sub, err := os.MkdirTemp(dir, "streamfetchd-*")
+		if err != nil {
+			return nil, false, fmt.Errorf("streamfetch: store dir: %w", err)
+		}
+		st, err := store.Open(sub)
+		if err != nil {
+			return nil, false, err
+		}
+		return st, true, nil
+	}
+	return store.NewMem(), true, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -111,13 +151,34 @@ type Health struct {
 	JobsRunning  int `json:"jobs_running"`
 	JobsFinished int `json:"jobs_finished"`
 
-	Sessions int `json:"sessions"`
+	Sessions   int `json:"sessions"`
+	SessionCap int `json:"session_cap"`
 
 	// ParInUse is the claimed extra-worker tokens of the process-wide
 	// simulation pool; ParBudget its capacity (GOMAXPROCS-1 by default).
 	// Total simulation concurrency is at most ParInUse+1.
 	ParInUse  int `json:"par_in_use"`
 	ParBudget int `json:"par_budget"`
+
+	// The durability/cache surface. Store names the backend ("mem",
+	// "fs"); StoreHits counts submissions answered from the
+	// content-addressed result cache without enqueuing a simulation,
+	// StoreMisses submissions that enqueued one, and StoreCoalesced
+	// submissions folded into an identical in-flight job (one
+	// simulation, shared result). StoreJournalDepth is the journaled
+	// jobs not yet terminal (what a restart would re-enqueue),
+	// StoreBlobs/StoreBytes the cached results and the store's total
+	// footprint on disk (or in memory for the "mem" backend).
+	// StoreErrors counts journal/blob writes that failed after the job
+	// was accepted; serving continues, durability is degraded.
+	Store             string `json:"store"`
+	StoreHits         int64  `json:"store_hits"`
+	StoreMisses       int64  `json:"store_misses"`
+	StoreCoalesced    int64  `json:"store_coalesced"`
+	StoreJournalDepth int    `json:"store_journal_depth"`
+	StoreBlobs        int    `json:"store_blobs"`
+	StoreBytes        int64  `json:"store_bytes"`
+	StoreErrors       int64  `json:"store_errors,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -131,17 +192,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	capQ := cap(m.queue)
 	m.mu.Unlock()
 	queued, running, finished := m.counts()
+	// A stats failure (e.g. the store dir vanished) degrades the store
+	// fields to zero rather than failing the liveness probe.
+	stats, statsErr := m.store.Stats()
+	errs := m.storeErrs.Load()
+	if statsErr != nil {
+		errs++
+	}
 	writeJSON(w, http.StatusOK, Health{
-		Status:       status,
-		QueueDepth:   depth,
-		QueueCap:     capQ,
-		Workers:      m.workers,
-		JobsQueued:   queued,
-		JobsRunning:  running,
-		JobsFinished: finished,
-		Sessions:     m.sessions.size(),
-		ParInUse:     par.InUse(),
-		ParBudget:    par.Budget(),
+		Status:            status,
+		QueueDepth:        depth,
+		QueueCap:          capQ,
+		Workers:           m.workers,
+		JobsQueued:        queued,
+		JobsRunning:       running,
+		JobsFinished:      finished,
+		Sessions:          m.sessions.size(),
+		SessionCap:        m.sessions.capacity(),
+		ParInUse:          par.InUse(),
+		ParBudget:         par.Budget(),
+		Store:             m.store.Name(),
+		StoreHits:         m.hits.Load(),
+		StoreMisses:       m.misses.Load(),
+		StoreCoalesced:    m.coalesced.Load(),
+		StoreJournalDepth: stats.JournalDepth,
+		StoreBlobs:        stats.Blobs,
+		StoreBytes:        stats.Bytes,
+		StoreErrors:       errs,
 	})
 }
 
@@ -163,7 +240,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, submitStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.envelope())
+	writeJSON(w, acceptStatus(j), j.envelope())
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
@@ -176,7 +253,20 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, submitStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.envelope())
+	writeJSON(w, acceptStatus(j), j.envelope())
+}
+
+// acceptStatus picks the submission status: 202 for a job that still has
+// work ahead of it (fresh or coalesced onto an in-flight twin), 200 for a
+// store-cache hit whose envelope already carries the terminal result.
+func acceptStatus(j *job) int {
+	j.mu.Lock()
+	cached := j.cached
+	j.mu.Unlock()
+	if cached {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -199,13 +289,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitStatus maps a submission error to its HTTP status: shutdown 503,
-// backpressure 429, anything else a client error.
+// backpressure 429, a failed durability write 500, anything else a client
+// error.
 func submitStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrStore):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

@@ -1,0 +1,208 @@
+package streamfetch_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"streamfetch"
+)
+
+// directReport runs req directly through a Session and renders the report
+// exactly as the service does — the differential oracle for store-served
+// results.
+func directReport(t *testing.T, req streamfetch.RunRequest) []byte {
+	t.Helper()
+	sess := streamfetch.New(req.Benchmark, streamfetch.WithInstructions(req.Insts))
+	rep, err := sess.RunWith(context.Background(),
+		streamfetch.WithEngine(req.Engine),
+		streamfetch.WithLayout(req.Layout),
+		streamfetch.WithWidth(req.Width),
+		streamfetch.WithSeed(req.Seed),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reportJSON(t, rep)
+}
+
+// TestServiceCacheHit: resubmitting a completed request answers 200 with a
+// cached terminal envelope — no queueing, no new simulation — and the
+// cached report is byte-identical to the one the original run produced.
+// The health surface accounts for the hit.
+func TestServiceCacheHit(t *testing.T) {
+	srv := newTestServer(t, streamfetch.WithWorkers(2))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	sc := newServiceClient(t, srv)
+
+	req := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Width: 4, Insts: 30_000, Seed: 21}
+	first := sc.submit("/v1/runs", req)
+	firstGot := sc.await(first.ID, time.Minute)
+	if firstGot.State != streamfetch.JobDone {
+		t.Fatalf("job finished %s (error %q), want done", firstGot.State, firstGot.Error)
+	}
+
+	var env streamfetch.JobEnvelope
+	if code := sc.do("POST", "/v1/runs", req, &env); code != http.StatusOK {
+		t.Fatalf("identical resubmission: status %d, want 200 (cache hit)", code)
+	}
+	if !env.Cached || env.State != streamfetch.JobDone {
+		t.Fatalf("resubmission envelope: cached=%v state=%s, want cached done", env.Cached, env.State)
+	}
+	if env.ID == first.ID {
+		t.Error("cache hit reused the original job id; it must mint its own")
+	}
+	if !env.StartedAt.IsZero() {
+		t.Error("cached job has a start time; it never ran")
+	}
+	if g, w := reportJSON(t, env.Report), reportJSON(t, firstGot.Report); !bytes.Equal(g, w) {
+		t.Errorf("cached report diverged from the original\ncached:\n%s\noriginal:\n%s", g, w)
+	}
+
+	var h streamfetch.Health
+	if code := sc.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d", code)
+	}
+	if h.Store == "" {
+		t.Error("health does not name the store backend")
+	}
+	if h.StoreHits < 1 || h.StoreMisses < 1 {
+		t.Errorf("health cache counters: hits=%d misses=%d, want ≥1 each", h.StoreHits, h.StoreMisses)
+	}
+}
+
+// TestServiceCrashRecovery: a daemon on a filesystem store is interrupted
+// mid-flight (drain context already expired — the graceful path never gets
+// to run, as in a crash) with one job running and two queued. A second
+// daemon on the same directory keeps serving the finished job's report
+// byte-for-byte, re-enqueues the interrupted jobs under their old ids, and
+// runs them to reports byte-identical to direct Session runs.
+func TestServiceCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srvA := newTestServer(t, streamfetch.WithStoreDir(dir),
+		streamfetch.WithWorkers(1), streamfetch.WithQueueDepth(8))
+	scA := newServiceClient(t, srvA)
+
+	// One job runs to completion before the crash.
+	doneReq := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Width: 4, Insts: 20_000, Seed: 31}
+	doneEnv := scA.submit("/v1/runs", doneReq)
+	doneGot := scA.await(doneEnv.ID, time.Minute)
+	if doneGot.State != streamfetch.JobDone {
+		t.Fatalf("pre-crash job finished %s, want done", doneGot.State)
+	}
+
+	// One long job holds the single worker; two short jobs queue behind it.
+	long := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Width: 4, Insts: 500_000_000, Seed: 32}
+	running := scA.submit("/v1/runs", long)
+	q1Req := doneReq
+	q1Req.Seed = 33
+	q2Req := doneReq
+	q2Req.Seed = 34
+	q1 := scA.submit("/v1/runs", q1Req)
+	q2 := scA.submit("/v1/runs", q2Req)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var env streamfetch.JobEnvelope
+		scA.do("GET", "/v1/runs/"+running.ID, nil, &env)
+		if env.State == streamfetch.JobRunning && env.Progress != nil && env.Progress.Retired > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("long job never made progress (state %s)", env.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// "Crash": the drain deadline has already passed, so every unfinished
+	// job is cut down mid-flight. None of them may be journaled terminal.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srvA.Shutdown(ctx) // returns ctx.Err(); the interruption is the point
+
+	// Restart on the same directory.
+	srvB := newTestServer(t, streamfetch.WithStoreDir(dir), streamfetch.WithQueueDepth(8))
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		srvB.Shutdown(sctx)
+	})
+	scB := newServiceClient(t, srvB)
+
+	// The finished job survives the restart byte-for-byte, and matches a
+	// direct Session run of the same request.
+	var restored streamfetch.JobEnvelope
+	if code := scB.do("GET", "/v1/runs/"+doneEnv.ID, nil, &restored); code != http.StatusOK {
+		t.Fatalf("GET restored job %s: status %d", doneEnv.ID, code)
+	}
+	if restored.State != streamfetch.JobDone {
+		t.Fatalf("restored job state = %s, want done", restored.State)
+	}
+	got := reportJSON(t, restored.Report)
+	if w := reportJSON(t, doneGot.Report); !bytes.Equal(got, w) {
+		t.Errorf("restored report diverged from the pre-crash report")
+	}
+	if w := directReport(t, doneReq); !bytes.Equal(got, w) {
+		t.Errorf("restored report diverged from a direct run")
+	}
+
+	// The interrupted running job was re-enqueued under its old id. Cancel
+	// it first so the short jobs aren't starved behind 500M instructions
+	// on a small box.
+	var env streamfetch.JobEnvelope
+	if code := scB.do("GET", "/v1/runs/"+running.ID, nil, &env); code != http.StatusOK {
+		t.Fatalf("GET re-enqueued job %s: status %d", running.ID, code)
+	}
+	if env.State.Terminal() {
+		t.Fatalf("interrupted job restarted terminal (%s); it is owed a run", env.State)
+	}
+	if code := scB.do("DELETE", "/v1/runs/"+running.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("DELETE re-enqueued job: status %d", code)
+	}
+	if got := scB.await(running.ID, 30*time.Second); got.State != streamfetch.JobCancelled {
+		t.Fatalf("cancelled re-enqueued job state = %s", got.State)
+	}
+
+	// The queued jobs run to completion with reports byte-identical to
+	// direct runs — recovery re-simulates exactly what was promised.
+	for _, c := range []struct {
+		id  string
+		req streamfetch.RunRequest
+	}{{q1.ID, q1Req}, {q2.ID, q2Req}} {
+		fin := scB.await(c.id, 3*time.Minute)
+		if fin.State != streamfetch.JobDone {
+			t.Fatalf("recovered job %s finished %s (error %q), want done", c.id, fin.State, fin.Error)
+		}
+		if g, w := reportJSON(t, fin.Report), directReport(t, c.req); !bytes.Equal(g, w) {
+			t.Errorf("recovered job %s report diverged from a direct run", c.id)
+		}
+	}
+
+	// Health on the restarted daemon reflects the filesystem store: cached
+	// blobs with real bytes on disk, and — once everything above is
+	// terminal — no journal debt left.
+	hDeadline := time.Now().Add(10 * time.Second)
+	for {
+		var h streamfetch.Health
+		if code := scB.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+			t.Fatalf("GET /healthz: status %d", code)
+		}
+		if h.Store != "fs" {
+			t.Fatalf("health store = %q, want fs", h.Store)
+		}
+		if h.StoreBlobs >= 3 && h.StoreBytes > 0 && h.StoreJournalDepth == 0 {
+			break
+		}
+		if time.Now().After(hDeadline) {
+			t.Fatalf("health never settled: blobs=%d bytes=%d journal_depth=%d, want ≥3 blobs, >0 bytes, depth 0",
+				h.StoreBlobs, h.StoreBytes, h.StoreJournalDepth)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -17,6 +17,17 @@ import (
 	"streamfetch/internal/par"
 )
 
+// newTestServer builds a Server, failing the test on configuration
+// errors.
+func newTestServer(t *testing.T, opts ...streamfetch.ServerOption) *streamfetch.Server {
+	t.Helper()
+	srv, err := streamfetch.NewServer(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // serviceClient wraps an httptest server with JSON helpers.
 type serviceClient struct {
 	t  *testing.T
@@ -113,7 +124,7 @@ func reportJSON(t *testing.T, rep *streamfetch.Report) []byte {
 // The service must add routing, queueing and concurrency, never model
 // drift.
 func TestServiceDifferentialOracle(t *testing.T) {
-	srv := streamfetch.NewServer(streamfetch.WithQueueDepth(8), streamfetch.WithWorkers(2))
+	srv := newTestServer(t, streamfetch.WithQueueDepth(8), streamfetch.WithWorkers(2))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -170,7 +181,7 @@ func TestServiceDifferentialOracle(t *testing.T) {
 // TestServiceSweepOracle: sweep cells carry the same reports a direct
 // session run produces, cell for cell.
 func TestServiceSweepOracle(t *testing.T) {
-	srv := streamfetch.NewServer()
+	srv := newTestServer(t)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -216,7 +227,7 @@ func TestServiceSweepOracle(t *testing.T) {
 // queued job keeps it from running, and cancelling a running job stops it
 // promptly with its partial report marked aborted.
 func TestServiceBackpressureAndCancel(t *testing.T) {
-	srv := streamfetch.NewServer(streamfetch.WithQueueDepth(1), streamfetch.WithWorkers(1))
+	srv := newTestServer(t, streamfetch.WithQueueDepth(1), streamfetch.WithWorkers(1))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -251,8 +262,12 @@ func TestServiceBackpressureAndCancel(t *testing.T) {
 	}
 	got429 := false
 	for i := 0; i < 3 && !got429; i++ {
+		// Distinct seeds: identical bodies would coalesce onto the
+		// running job instead of exercising the queue.
+		fill := long
+		fill.Seed = uint64(1 + i)
 		var env streamfetch.JobEnvelope
-		switch code := sc.do("POST", "/v1/runs", long, &env); code {
+		switch code := sc.do("POST", "/v1/runs", fill, &env); code {
 		case http.StatusAccepted:
 			pending = append(pending, env.ID)
 			// Let the dispatcher pull at most one into its placement slot.
@@ -266,9 +281,11 @@ func TestServiceBackpressureAndCancel(t *testing.T) {
 	if !got429 {
 		t.Fatalf("queue never pushed back: %d pending submissions all accepted", len(pending))
 	}
-	// The queue is still full: re-issue one submission to check the 429
-	// carries a JSON error body.
-	if code := sc.do("POST", "/v1/runs", long, &errBody); code != http.StatusTooManyRequests {
+	// The queue is still full: issue one more distinct submission to check
+	// the 429 carries a JSON error body.
+	refill := long
+	refill.Seed = 77
+	if code := sc.do("POST", "/v1/runs", refill, &errBody); code != http.StatusTooManyRequests {
 		t.Fatalf("refill submission: status %d, want 429", code)
 	}
 	if errBody.Error == "" {
@@ -314,7 +331,7 @@ func TestServiceBackpressureAndCancel(t *testing.T) {
 
 // TestServiceEnginesAndHealth covers the discovery and liveness surface.
 func TestServiceEnginesAndHealth(t *testing.T) {
-	srv := streamfetch.NewServer(streamfetch.WithQueueDepth(4), streamfetch.WithWorkers(2))
+	srv := newTestServer(t, streamfetch.WithQueueDepth(4), streamfetch.WithWorkers(2))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -353,7 +370,7 @@ func TestServiceWorkersRunConcurrently(t *testing.T) {
 	par.SetBudget(4)
 	t.Cleanup(func() { par.SetBudget(runtime.GOMAXPROCS(0) - 1) })
 
-	srv := streamfetch.NewServer(streamfetch.WithQueueDepth(4), streamfetch.WithWorkers(2))
+	srv := newTestServer(t, streamfetch.WithQueueDepth(4), streamfetch.WithWorkers(2))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -361,9 +378,13 @@ func TestServiceWorkersRunConcurrently(t *testing.T) {
 	})
 	sc := newServiceClient(t, srv)
 
-	long := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Insts: 500_000_000}
+	// Distinct seeds so the two submissions are distinct jobs rather than
+	// coalescing onto one in-flight run.
+	long := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Insts: 500_000_000, Seed: 1}
+	long2 := long
+	long2.Seed = 2
 	a := sc.submit("/v1/runs", long)
-	b := sc.submit("/v1/runs", long)
+	b := sc.submit("/v1/runs", long2)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		var ea, eb streamfetch.JobEnvelope
@@ -394,7 +415,7 @@ func TestServiceWorkersRunConcurrently(t *testing.T) {
 // without limit; evicted ids answer 404 while retained ones keep serving
 // their reports.
 func TestServiceJobRetention(t *testing.T) {
-	srv := streamfetch.NewServer(streamfetch.WithJobRetention(2), streamfetch.WithWorkers(1))
+	srv := newTestServer(t, streamfetch.WithJobRetention(2), streamfetch.WithWorkers(1))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -405,6 +426,9 @@ func TestServiceJobRetention(t *testing.T) {
 	req := streamfetch.RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Insts: 20_000}
 	var ids []string
 	for i := 0; i < 3; i++ {
+		// Distinct seeds: a repeated identical body would be a cache hit
+		// (HTTP 200, no new job), not a fresh terminal job to retain.
+		req.Seed = uint64(100 + i)
 		env := sc.submit("/v1/runs", req)
 		got := sc.await(env.ID, time.Minute)
 		if got.State != streamfetch.JobDone {
@@ -436,7 +460,7 @@ func TestJobQueueRaceStress(t *testing.T) {
 	t.Cleanup(func() { par.SetBudget(runtime.GOMAXPROCS(0) - 1) })
 
 	before := runtime.NumGoroutine()
-	srv := streamfetch.NewServer(streamfetch.WithQueueDepth(32), streamfetch.WithWorkers(4))
+	srv := newTestServer(t, streamfetch.WithQueueDepth(32), streamfetch.WithWorkers(4))
 	sc := newServiceClient(t, srv)
 
 	// Sample pool saturation while the stress runs.
@@ -473,7 +497,11 @@ func TestJobQueueRaceStress(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			env := sc.submit("/v1/sweeps", sweep)
+			// Distinct seeds: 8 identical sweeps would coalesce into one
+			// job and the stress would exercise nothing.
+			s := sweep
+			s.Seed = uint64(1000 + i)
+			env := sc.submit("/v1/sweeps", s)
 			ids[i] = env.ID
 			if i%2 == 1 {
 				// Cancel half of them mid-flight, racing the run.

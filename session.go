@@ -160,6 +160,9 @@ const (
 	defaultSeed      = 99
 	defaultTrainSeed = 7
 	defaultInsts     = 2_000_000
+	defaultWidth     = 8
+	defaultEngine    = "streams"
+	defaultLayout    = "base"
 )
 
 // New builds a session for one benchmark with the paper's defaults: 8-wide
@@ -169,9 +172,9 @@ const (
 func New(benchmark string, opts ...Option) *Session {
 	s := &Session{
 		benchmark:  benchmark,
-		width:      8,
-		engine:     "streams",
-		layoutName: "base",
+		width:      defaultWidth,
+		engine:     defaultEngine,
+		layoutName: defaultLayout,
 		seed:       defaultSeed,
 		trainSeed:  defaultTrainSeed,
 		insts:      defaultInsts,

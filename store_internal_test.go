@@ -1,0 +1,158 @@
+package streamfetch
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func shutdownServer(t *testing.T, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestSubmitCoalescing: identical concurrent submissions collapse onto one
+// job that simulates once; distinct requests stay distinct; and once the
+// leader finishes, an identical resubmission is a cache hit that serves a
+// byte-identical report without simulating again.
+func TestSubmitCoalescing(t *testing.T) {
+	srv, err := NewServer(WithWorkers(2), WithQueueDepth(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdownServer(t, srv) })
+
+	// Gate the leader's body so it stays in flight until every submitter
+	// has arrived — coalescing is then deterministic, not a race against
+	// a fast simulation.
+	var runs atomic.Int64
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	srv.mgr.runHook = func(string) {
+		runs.Add(1)
+		<-release
+	}
+
+	req := RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base", Insts: 50_000, Seed: 5}
+	const n = 6
+	jobs := make([]*job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := srv.mgr.newRunJob(req)
+			if err != nil {
+				t.Errorf("submission %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	releaseOnce.Do(func() { close(release) })
+
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("submission %d failed", i)
+		}
+		if j != jobs[0] {
+			t.Fatalf("submission %d got job %s, want coalesced onto %s", i, j.id, jobs[0].id)
+		}
+	}
+	<-jobs[0].done
+	leader := jobs[0].envelope()
+	if leader.State != JobDone {
+		t.Fatalf("leader finished %s (error %q), want done", leader.State, leader.Error)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d identical submissions ran %d simulations, want exactly 1", n, got)
+	}
+	if got := srv.mgr.coalesced.Load(); got != n-1 {
+		t.Errorf("coalesced counter = %d, want %d", got, n-1)
+	}
+
+	// A different seed is a different content key: fresh job, fresh run.
+	req2 := req
+	req2.Seed = 6
+	j2, err := srv.mgr.newRunJob(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 == jobs[0] {
+		t.Fatal("distinct request coalesced onto an unrelated job")
+	}
+	<-j2.done
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("distinct request should simulate: runs = %d, want 2", got)
+	}
+
+	// The leader is terminal now: an identical resubmission must be a
+	// cache hit — terminal immediately, never enqueued, no simulation —
+	// and its report must be byte-identical to the leader's.
+	j3, err := srv.mgr.newRunJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := j3.envelope()
+	if !env.Cached || env.State != JobDone {
+		t.Fatalf("resubmission envelope: cached=%v state=%s, want cached done", env.Cached, env.State)
+	}
+	if !env.StartedAt.IsZero() {
+		t.Error("cached job has a start time; it must never run")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("cache hit triggered a simulation: runs = %d, want 2", got)
+	}
+	if got := srv.mgr.hits.Load(); got != 1 {
+		t.Errorf("cache hit counter = %d, want 1", got)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := env.Report.WriteJSON(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Report.WriteJSON(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+		t.Errorf("cached report diverged from the run that produced it\ncached:\n%s\nrun:\n%s",
+			gotBuf.Bytes(), wantBuf.Bytes())
+	}
+}
+
+// TestWithSessionCacheSize: the option bounds the prepared-session LRU,
+// the default holds without it, and non-positive sizes are rejected at
+// construction.
+func TestWithSessionCacheSize(t *testing.T) {
+	srv, err := NewServer(WithSessionCacheSize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.mgr.sessions.capacity(); got != 3 {
+		t.Errorf("session cache capacity = %d, want 3", got)
+	}
+	shutdownServer(t, srv)
+
+	srv, err = NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.mgr.sessions.capacity(); got != maxCachedSessions {
+		t.Errorf("default session cache capacity = %d, want %d", got, maxCachedSessions)
+	}
+	shutdownServer(t, srv)
+
+	for _, n := range []int{0, -1} {
+		if _, err := NewServer(WithSessionCacheSize(n)); err == nil {
+			t.Errorf("WithSessionCacheSize(%d) accepted, want error", n)
+		}
+	}
+}
