@@ -19,12 +19,18 @@
 // -figures=false, the Figure-8 cell: harmonic-mean IPC per engine across
 // the benchmark subset on the optimized layout.
 //
+// With -cpuprofile/-memprofile the measurement phase is captured into
+// pprof profiles (the CPU profile spans every measurement; the heap
+// profile is written at exit after a final GC), so the two-command
+// workflow "bench with profiles, then go tool pprof" answers where the
+// simulator spends its time.
+//
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_streamfetch.json] [-label <name>]
 //	    [-insts 300000] [-benchmark 164.gzip] [-width 8]
 //	    [-set 164.gzip,176.gcc,300.twolf] [-figures=true]
-//	    [-shardinsts 4000000]
+//	    [-shardinsts 4000000] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -108,12 +115,48 @@ func main() {
 		figures    = flag.Bool("figures", true, "also run the Figure-8 harmonic-IPC sweep")
 		shardInsts = flag.Uint64("shardinsts", 4_000_000,
 			"trace length for the shard-scaling measurement (0 = skip)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	if err := run(*out, *label, *insts, *benchmark, *width, *set, *figures, *shardInsts); err != nil {
+	if err := withProfiles(*cpuProfile, *memProfile, func() error {
+		return run(*out, *label, *insts, *benchmark, *width, *set, *figures, *shardInsts)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets f with the requested pprof captures: the CPU
+// profile covers f entirely; the heap profile snapshots live allocations
+// after f and a final GC.
+func withProfiles(cpuPath, memPath string, f func() error) error {
+	if cpuPath != "" {
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		mf, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fmt.Errorf("writing heap profile: %w", err)
+		}
+	}
+	return nil
 }
 
 func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool, shardInsts uint64) error {

@@ -47,8 +47,11 @@ type TraceCacheEngine struct {
 	width int
 
 	fetchAddr isa.Addr
-	// drain holds trace instructions being delivered width-per-cycle.
-	drain []FetchedInst
+	// drain holds trace instructions being delivered width-per-cycle:
+	// a fixed-capacity buffer (cap MaxLen, allocated once) consumed from
+	// drainPos, so trace-hit delivery never reallocates.
+	drain    []FetchedInst
+	drainPos int
 	// secondary path state: remaining predicted-trace walk.
 	sec struct {
 		active  bool
@@ -78,6 +81,7 @@ func NewTraceCacheEngine(cfg TCConfig, hier *cache.Hierarchy, image *layout.Layo
 		image:     image,
 		width:     width,
 		fetchAddr: entry,
+		drain:     make([]FetchedInst, 0, cfg.TCache.MaxLen),
 	}
 }
 
@@ -98,13 +102,13 @@ func (e *TraceCacheEngine) Cycle(out []FetchedInst) []FetchedInst {
 
 	// Drain a previously hit trace at pipe width per cycle; the
 	// predictor and trace cache stall meanwhile.
-	if len(e.drain) > 0 {
+	if e.drainPos < len(e.drain) {
 		n := e.width
-		if n > len(e.drain) {
-			n = len(e.drain)
+		if rem := len(e.drain) - e.drainPos; n > rem {
+			n = rem
 		}
-		out = append(out, e.drain[:n]...)
-		e.drain = e.drain[n:]
+		out = append(out, e.drain[e.drainPos:e.drainPos+n]...)
+		e.drainPos += n
 		e.deliver(n)
 		return out
 	}
@@ -142,6 +146,8 @@ func (e *TraceCacheEngine) Cycle(out []FetchedInst) []FetchedInst {
 			for _, ti := range tr.Inst[:n] {
 				out = append(out, FetchedInst{Addr: ti.Addr, Inst: ti.Inst})
 			}
+			e.drain = e.drain[:0]
+			e.drainPos = 0
 			for _, ti := range tr.Inst[n:] {
 				e.drain = append(e.drain, FetchedInst{Addr: ti.Addr, Inst: ti.Inst})
 			}
@@ -273,6 +279,7 @@ func (e *TraceCacheEngine) secondaryBranch(addr isa.Addr, bt isa.BranchType) (ta
 // Redirect implements Engine.
 func (e *TraceCacheEngine) Redirect(target isa.Addr, recover bool) {
 	e.drain = e.drain[:0]
+	e.drainPos = 0
 	e.sec.active = false
 	e.busy = 0
 	e.fetchAddr = target

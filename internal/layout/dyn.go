@@ -164,6 +164,22 @@ func (l *Layout) AppendDyn(buf []DynInst, id, next cfg.BlockID) []DynInst {
 	}
 }
 
+// AppendDynRun appends the dynamic instructions of a run of consecutively
+// executed blocks: ids[i] is expanded with ids[i+1] as its dynamic
+// successor, and next is the block following the whole run (NoBlock at the
+// end of the trace). It is the bulk form of AppendDyn — identical
+// expansion, one call per batch of blocks — used by the simulator's
+// batched supply.
+func (l *Layout) AppendDynRun(buf []DynInst, ids []cfg.BlockID, next cfg.BlockID) []DynInst {
+	if len(ids) == 0 {
+		return buf
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		buf = l.AppendDyn(buf, ids[i], ids[i+1])
+	}
+	return l.AppendDyn(buf, ids[len(ids)-1], next)
+}
+
 // DynLen returns the number of dynamic instructions one execution of block
 // id contributes when followed by next.
 func (l *Layout) DynLen(id, next cfg.BlockID) int {

@@ -383,6 +383,19 @@ func (l *Layout) FallThrough(id cfg.BlockID) cfg.BlockID { return l.fall[id] }
 // branch of block id jumps to when taken.
 func (l *Layout) CondTargetSide(id cfg.BlockID) int { return int(l.condTarget[id]) }
 
+// MaxBlockSlots returns the largest per-block slot count in the image: an
+// upper bound on the dynamic instructions one execution of any block can
+// emit, used to pre-size expansion buffers.
+func (l *Layout) MaxBlockSlots() int {
+	m := int32(1)
+	for _, n := range l.slots {
+		if n > m {
+			m = n
+		}
+	}
+	return int(m)
+}
+
 // CodeSize returns the total code size in bytes under this layout.
 func (l *Layout) CodeSize() int { return l.totalSlots * isa.InstBytes }
 

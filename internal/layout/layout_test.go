@@ -154,6 +154,50 @@ func TestDynExpansionConsistent(t *testing.T) {
 	}
 }
 
+// TestAppendDynRunDifferential: expanding a trace run-at-a-time is
+// instruction-for-instruction identical to expanding it block by block,
+// for run lengths of one block up to the whole trace, including the
+// trailing NoBlock run.
+func TestAppendDynRunDifferential(t *testing.T) {
+	prog := genProgram(t, "164.gzip")
+	tr := trace.Generate(prog, trace.GenConfig{Seed: 99, MaxInsts: 100_000})
+	for _, l := range []*Layout{Baseline(prog), Optimized(prog, trace.CollectProfile(prog, 7, 100_000))} {
+		var want []DynInst
+		for i, id := range tr.Blocks {
+			next := cfg.NoBlock
+			if i+1 < len(tr.Blocks) {
+				next = tr.Blocks[i+1]
+			}
+			want = l.AppendDyn(want, id, next)
+		}
+		for _, run := range []int{1, 2, 33, 512, len(tr.Blocks)} {
+			var got []DynInst
+			for i := 0; i < len(tr.Blocks); i += run {
+				end := i + run
+				next := cfg.NoBlock
+				if end >= len(tr.Blocks) {
+					end = len(tr.Blocks)
+				} else {
+					next = tr.Blocks[end]
+				}
+				got = l.AppendDynRun(got, tr.Blocks[i:end], next)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s run=%d: %d insts, want %d", l.Name, run, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s run=%d: inst %d = %+v, want %+v",
+						l.Name, run, i, got[i], want[i])
+				}
+			}
+		}
+		if out := l.AppendDynRun(nil, nil, cfg.NoBlock); len(out) != 0 {
+			t.Fatalf("%s: AppendDynRun of an empty run emitted %d insts", l.Name, len(out))
+		}
+	}
+}
+
 // TestOptimizedReducesTakenRate is the load-bearing property for the whole
 // paper: layout optimization must convert taken branch instances into
 // not-taken ones (the paper reports ~80% of conditional instances not taken

@@ -144,28 +144,45 @@ type warmSource interface {
 	LastRegion() trace.Region
 }
 
+// supplyBatch is the block granularity of the batched supply path: blocks
+// per Source.NextBatch pull, and (times mean block length) the size of the
+// reused dyn-inst window.
+const supplyBatch = 512
+
 // dynSupply lazily expands the block trace into dynamic instructions under
-// the layout. It pulls blocks from a trace.Source with one block of
-// lookahead (expansion needs the dynamically following block), so memory is
-// a single block's worth of instructions regardless of trace length.
+// the layout. In the common case (no lead-in regions) it pulls blocks
+// supplyBatch at a time through one Source.NextBatch interface call and
+// expands them en masse into a reusable dyn-inst window, so the driver's
+// peek/advance path is an array read — no interface calls, no allocation
+// — and memory stays one batch's worth regardless of trace length. The
+// final block of each batch is carried into the next one, since expansion
+// needs the dynamically following block.
 //
-// When the source carries lead-in regions (warm != nil), the supply
-// handles them in expansion order: functional-warming blocks are expanded,
-// handed to the fwarm callback instruction by instruction, and never
-// delivered to the pipeline; timing-warmup blocks are delivered and
+// When the source carries lead-in regions (warm != nil), the supply falls
+// back to per-block pulls so every block's region flag is observed, and
+// handles regions in expansion order: functional-warming blocks are
+// expanded, handed to the fwarm callback instruction by instruction, and
+// never delivered to the pipeline; timing-warmup blocks are delivered and
 // counted into warmDyn. Lead-in blocks are a strict prefix of the stream,
 // so once a measured block has been expanded (crossed), warmDyn is the
 // exact retirement count at which the measure phase begins.
 type dynSupply struct {
-	lay      *layout.Layout
-	src      trace.Source
+	lay *layout.Layout
+	src trace.Source
+	buf []layout.DynInst
+	pos int
+
+	// Batched path state (warm == nil).
+	blk     []cfg.BlockID
+	blkLen  int // blocks in blk awaiting expansion (0 or 1 between fills)
+	srcDone bool
+
+	// Per-block path state (warm != nil).
 	primed   bool
 	cur      cfg.BlockID
 	haveCur  bool
 	next     cfg.BlockID
 	haveNext bool
-	buf      []layout.DynInst
-	pos      int
 
 	warm    warmSource
 	fwarm   func(layout.DynInst)
@@ -186,6 +203,65 @@ func (d *dynSupply) pull() (cfg.BlockID, bool, trace.Region) {
 }
 
 func (d *dynSupply) peek() (layout.DynInst, bool) {
+	if d.pos < len(d.buf) {
+		return d.buf[d.pos], true
+	}
+	if d.warm != nil {
+		return d.peekWarm()
+	}
+	for d.pos >= len(d.buf) {
+		if !d.fill() {
+			return layout.DynInst{}, false
+		}
+	}
+	return d.buf[d.pos], true
+}
+
+// initBatch readies the batched path's buffers up front: the block window,
+// and a dyn-inst window sized for the worst-case expansion of a full batch,
+// so the run loop itself performs no allocation.
+func (d *dynSupply) initBatch() {
+	d.blk = make([]cfg.BlockID, supplyBatch)
+	d.buf = make([]layout.DynInst, 0, supplyBatch*d.lay.MaxBlockSlots())
+}
+
+// fill refills the block window through one NextBatch call and expands it
+// into the dyn buffer. The previous window's final block (whose lookahead
+// was unknown) moves to the front; all blocks but the new final one are
+// expanded, and once the source is exhausted the last block expands with
+// NoBlock. It returns false when nothing remains to expand.
+func (d *dynSupply) fill() bool {
+	if d.blk == nil {
+		d.blk = make([]cfg.BlockID, supplyBatch)
+	}
+	have := d.blkLen
+	if !d.srcDone {
+		n := d.src.NextBatch(d.blk[have:])
+		if n == 0 {
+			d.srcDone = true
+		}
+		have += n
+	}
+	d.buf = d.buf[:0]
+	d.pos = 0
+	if have == 0 {
+		d.blkLen = 0
+		return false
+	}
+	if d.srcDone {
+		d.buf = d.lay.AppendDynRun(d.buf, d.blk[:have], cfg.NoBlock)
+		d.blkLen = 0
+		return true
+	}
+	d.buf = d.lay.AppendDynRun(d.buf, d.blk[:have-1], d.blk[have-1])
+	d.blk[0] = d.blk[have-1]
+	d.blkLen = 1
+	return true
+}
+
+// peekWarm is the per-block supply path for sources with lead-in regions:
+// one block of lookahead, region flags consulted after every pull.
+func (d *dynSupply) peekWarm() (layout.DynInst, bool) {
 	for d.pos >= len(d.buf) {
 		if !d.primed {
 			d.primed = true
@@ -203,22 +279,20 @@ func (d *dynSupply) peek() (layout.DynInst, bool) {
 		}
 		d.buf = d.lay.AppendDyn(d.buf[:0], d.cur, nb)
 		d.pos = 0
-		if d.warm != nil {
-			switch d.curReg {
-			case trace.RegionFuncWarm:
-				// Replay state functionally and drop the block: the
-				// pipeline never sees it.
-				if d.fwarm != nil {
-					for _, di := range d.buf {
-						d.fwarm(di)
-					}
+		switch d.curReg {
+		case trace.RegionFuncWarm:
+			// Replay state functionally and drop the block: the
+			// pipeline never sees it.
+			if d.fwarm != nil {
+				for _, di := range d.buf {
+					d.fwarm(di)
 				}
-				d.pos = len(d.buf)
-			case trace.RegionWarm:
-				d.warmDyn += uint64(len(d.buf))
-			default:
-				d.crossed = true
 			}
+			d.pos = len(d.buf)
+		case trace.RegionWarm:
+			d.warmDyn += uint64(len(d.buf))
+		default:
+			d.crossed = true
 		}
 		d.cur, d.haveCur, d.curReg = d.next, d.haveNext, d.nextReg
 		if d.haveCur {
@@ -270,6 +344,8 @@ func New(lay *layout.Layout, src trace.Source, cfg Config) (*Processor, error) {
 	// warmup phase and a measured phase.
 	if ws, ok := src.(warmSource); ok && ws.WarmupPending() {
 		p.supply.warm = ws
+	} else {
+		p.supply.initBatch()
 	}
 	return p, nil
 }

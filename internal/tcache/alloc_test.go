@@ -1,0 +1,70 @@
+package tcache
+
+import (
+	"testing"
+
+	"streamfetch/internal/isa"
+)
+
+// TestSteadyStateAllocFree pins the package's perf contract: once the fill
+// unit, storage and predictor are built, the commit→insert→predict loop
+// performs zero heap allocations. The driven stream mixes a repeating red
+// trace (same-ID refill), a direction-cycling conditional pair (4 trace
+// IDs through a 2-way set, so every insertion evicts and reuses a victim's
+// arena region), and predictor hits, misses and mispredict upgrades.
+func TestSteadyStateAllocFree(t *testing.T) {
+	cfg := DefaultConfig()
+	f := NewFillUnit(cfg, 0x1000)
+	s := NewStorage(cfg.SizeBytes, cfg.Ways, cfg.MaxLen)
+	p := NewPredictor(cfg)
+
+	commit := func(a isa.Addr, bt isa.BranchType, taken bool, target isa.Addr, misp bool) {
+		tr, wasMisp, ok := f.Commit(a, mkInst(a, bt), taken, target, misp)
+		if !ok {
+			return
+		}
+		s.Lookup(tr.ID)
+		if tr.Red {
+			s.Insert(tr) // same-ID refill when present, eviction otherwise
+		}
+		if pr, hit := p.Predict(tr.ID.Start); hit {
+			p.OnPredict(pr.ID.Start)
+		}
+		p.Update(Pred{ID: tr.ID, Len: tr.Len(), Next: tr.Next, TermType: tr.TermType}, wasMisp)
+		if wasMisp {
+			p.Recover()
+		}
+	}
+
+	iter := 0
+	loop := func() {
+		// Red trace with a fixed ID: taken jump mid-trace, closed by a
+		// return. Steady state is a same-ID refill of its slot.
+		commit(0x1000, isa.BranchNone, false, 0, false)
+		commit(0x1004, isa.BranchUncond, true, 0x2000, false)
+		commit(0x2000, isa.BranchNone, false, 0, false)
+		commit(0x2004, isa.BranchReturn, true, 0x1000, false)
+
+		// Conditional pair whose directions cycle through all four
+		// combinations: four trace IDs sharing one 2-way set, so every
+		// other insertion takes the eviction path. The direction flips
+		// double as periodic mispredict signals for the predictor's
+		// second-level upgrade path.
+		d0, d1 := iter&1 == 1, iter&2 == 2
+		commit(0x3000, isa.BranchNone, false, 0, false)
+		commit(0x3004, isa.BranchCond, d0, 0x3800, d0 != d1)
+		commit(0x3008, isa.BranchNone, false, 0, false)
+		commit(0x300c, isa.BranchCond, d1, 0x3800, false)
+		commit(0x3010, isa.BranchReturn, true, 0x3000, false)
+		iter++
+	}
+
+	// Let tables fill and every path (hit refill, eviction, predictor
+	// insert and upgrade) establish itself before measuring.
+	for i := 0; i < 64; i++ {
+		loop()
+	}
+	if avg := testing.AllocsPerRun(100, loop); avg != 0 {
+		t.Fatalf("steady-state commit/insert/predict loop allocates %.2f objects per iteration, want 0", avg)
+	}
+}

@@ -11,26 +11,34 @@ import "streamfetch/internal/isa"
 type FillUnit struct {
 	cfg     Config
 	pending Trace
+	// buf is the fixed-capacity instruction storage backing every pending
+	// trace: allocated once at construction (cap MaxLen, the most a trace
+	// can hold) and re-sliced empty at each trace boundary, so steady-state
+	// trace construction never touches the heap.
+	buf []TraceInst
 	// sawTaken marks a taken branch before the current final slot.
 	mispredicted bool
 }
 
 // NewFillUnit builds a fill unit starting its first trace at entry.
 func NewFillUnit(cfg Config, entry isa.Addr) *FillUnit {
-	f := &FillUnit{cfg: cfg}
+	f := &FillUnit{cfg: cfg, buf: make([]TraceInst, 0, cfg.MaxLen)}
 	f.reset(entry)
 	return f
 }
 
 func (f *FillUnit) reset(start isa.Addr) {
-	f.pending = Trace{ID: ID{Start: start}}
-	f.pending.Inst = f.pending.Inst[:0]
+	f.pending = Trace{ID: ID{Start: start}, Inst: f.buf[:0]}
 	f.mispredicted = false
 }
 
 // Commit consumes one retired instruction. When the instruction closes a
 // trace, the completed trace is returned along with whether its prediction
 // had failed.
+//
+// The returned trace's Inst slice aliases the fill unit's reused buffer: it
+// is valid only until the next Commit. Callers that retain the trace must
+// copy the instructions (Storage.Insert copies into its arena).
 func (f *FillUnit) Commit(addr isa.Addr, inst isa.Inst, taken bool, target isa.Addr, mispredicted bool) (tr Trace, wasMispredicted, ok bool) {
 	if len(f.pending.Inst) == 0 {
 		f.pending.ID.Start = addr

@@ -35,8 +35,12 @@ func (e *predEntry) matches(p Pred) bool {
 		int(e.len) == p.Len && e.next == p.Next && e.term == p.TermType
 }
 
+// predTable is a set-associative prediction table. Entries live in one
+// dense backing array indexed by set*ways+way: a single allocation at
+// construction and no per-set pointer chasing on the lookup path.
 type predTable struct {
-	sets    [][]predEntry
+	entries []predEntry
+	ways    int
 	setBits uint
 	clock   uint64
 }
@@ -49,19 +53,23 @@ func newPredTable(entries, ways int) *predTable {
 	if nsets&(nsets-1) != 0 {
 		panic("tcache: predictor set count must be a power of two")
 	}
-	t := &predTable{sets: make([][]predEntry, nsets)}
-	for i := range t.sets {
-		t.sets[i] = make([]predEntry, ways)
-	}
+	t := &predTable{entries: make([]predEntry, nsets*ways), ways: ways}
 	for b := nsets; b > 1; b >>= 1 {
 		t.setBits++
 	}
 	return t
 }
 
+// set returns the entry range of set idx.
+func (t *predTable) set(idx uint64) []predEntry {
+	base := int(idx) * t.ways
+	return t.entries[base : base+t.ways]
+}
+
 func (t *predTable) lookup(idx, tag uint64) *predEntry {
-	for i := range t.sets[idx] {
-		e := &t.sets[idx][i]
+	set := t.set(idx)
+	for i := range set {
+		e := &set[i]
 		if e.valid && e.tag == tag {
 			t.clock++
 			e.stamp = t.clock
@@ -72,7 +80,7 @@ func (t *predTable) lookup(idx, tag uint64) *predEntry {
 }
 
 func (t *predTable) update(idx, tag uint64, p Pred, insertOnMiss bool) {
-	set := t.sets[idx]
+	set := t.set(idx)
 	if e := t.lookup(idx, tag); e != nil {
 		if e.matches(p) {
 			// Re-saturate on every confirmation (like 2bcgskew's

@@ -79,11 +79,18 @@ type Trace struct {
 func (t *Trace) Len() int { return len(t.Inst) }
 
 // Storage is the trace cache proper: set-associative by start address, with
-// the trace ID as tag.
+// the trace ID as tag. Slot metadata and instruction storage both live in
+// single dense backing arrays indexed by set*ways+way — one allocation each
+// at construction, and evictions reuse the victim's arena region instead of
+// dropping a slice to the garbage collector, so steady-state insertion is
+// allocation-free.
 type Storage struct {
-	sets  [][]storedTrace
-	mask  uint64
-	clock uint64
+	slots  []storedTrace // nsets × ways, set-major
+	arena  []TraceInst   // maxLen instructions per slot, same order
+	ways   int
+	maxLen int
+	mask   uint64
+	clock  uint64
 
 	lookups, hits uint64
 }
@@ -110,21 +117,30 @@ func NewStorage(sizeBytes, ways, maxLen int) *Storage {
 	if nsets == 0 {
 		nsets = 1
 	}
-	s := &Storage{sets: make([][]storedTrace, nsets), mask: uint64(nsets - 1)}
-	for i := range s.sets {
-		s.sets[i] = make([]storedTrace, ways)
+	return &Storage{
+		slots:  make([]storedTrace, nsets*ways),
+		arena:  make([]TraceInst, nsets*ways*maxLen),
+		ways:   ways,
+		maxLen: maxLen,
+		mask:   uint64(nsets - 1),
 	}
-	return s
 }
 
 func (s *Storage) index(id ID) uint64 {
 	return (uint64(id.Start) >> 2) & s.mask
 }
 
+// set returns the slot range of the set holding id and the index of its
+// first slot.
+func (s *Storage) set(id ID) ([]storedTrace, int) {
+	base := int(s.index(id)) * s.ways
+	return s.slots[base : base+s.ways], base
+}
+
 // Lookup returns the stored trace with the given ID.
 func (s *Storage) Lookup(id ID) (*Trace, bool) {
 	s.lookups++
-	set := s.sets[s.index(id)]
+	set, _ := s.set(id)
 	for i := range set {
 		if set[i].valid && set[i].id == id {
 			s.clock++
@@ -136,29 +152,51 @@ func (s *Storage) Lookup(id ID) (*Trace, bool) {
 	return nil, false
 }
 
+// fill copies tr into slot, reusing the slot's arena region for the
+// instruction storage. A trace longer than the configured maximum (foreign
+// construction; the fill unit never produces one) gets a private copy
+// rather than being truncated.
+func (s *Storage) fill(slot int, tr Trace) {
+	st := &s.slots[slot]
+	st.tr = tr
+	if n := len(tr.Inst); n <= s.maxLen {
+		buf := s.arena[slot*s.maxLen : slot*s.maxLen+n]
+		copy(buf, tr.Inst)
+		st.tr.Inst = buf
+	} else {
+		st.tr.Inst = append([]TraceInst(nil), tr.Inst...)
+	}
+}
+
 // Insert stores a trace (LRU replacement within its set). Blue traces are
-// rejected by the caller (selective trace storage).
+// rejected by the caller (selective trace storage). One pass over the set
+// finds a same-ID hit and the would-be victim together: the first invalid
+// way, else the least recently stamped (identical choice to the former
+// separate scans).
 func (s *Storage) Insert(tr Trace) {
-	set := s.sets[s.index(tr.ID)]
+	set, base := s.set(tr.ID)
 	s.clock++
+	v, haveInvalid := 0, false
 	for i := range set {
 		if set[i].valid && set[i].id == tr.ID {
-			set[i].tr = tr
+			s.fill(base+i, tr)
 			set[i].stamp = s.clock
 			return
 		}
-	}
-	v := 0
-	for i := 1; i < len(set); i++ {
+		if i == 0 || haveInvalid {
+			continue
+		}
 		if !set[i].valid {
-			v = i
-			break
-		}
-		if set[i].stamp < set[v].stamp {
+			v, haveInvalid = i, true
+		} else if set[i].stamp < set[v].stamp {
 			v = i
 		}
 	}
-	set[v] = storedTrace{valid: true, id: tr.ID, tr: tr, stamp: s.clock}
+	st := &set[v]
+	st.valid = true
+	st.id = tr.ID
+	st.stamp = s.clock
+	s.fill(base+v, tr)
 }
 
 // HitRate returns the fraction of lookups that hit.

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+
+	"streamfetch/internal/cfg"
+)
+
+// TestNextBatchDifferential: on every backing, draining through NextBatch
+// yields exactly the sequence Next yields — for batch sizes of one, a
+// prime, exactly one file chunk, one past a chunk boundary, and far more
+// than the trace holds.
+func TestNextBatchDifferential(t *testing.T) {
+	prog, tr := skipTrace(t)
+	for _, size := range []int{1, 7, 64, chunkBlocks, chunkBlocks + 1, len(tr.Blocks) + 1000} {
+		dst := make([]cfg.BlockID, size)
+		for name, src := range sources(t, prog, tr) {
+			got := 0
+			for {
+				n := src.NextBatch(dst)
+				if n == 0 {
+					break
+				}
+				if n < 0 || n > size {
+					t.Fatalf("%s: NextBatch(len %d) = %d", name, size, n)
+				}
+				for i := 0; i < n; i++ {
+					if got+i >= len(tr.Blocks) {
+						t.Fatalf("%s: NextBatch(len %d) outlived the trace at block %d",
+							name, size, got+i)
+					}
+					if dst[i] != tr.Blocks[got+i] {
+						t.Fatalf("%s: NextBatch(len %d): block %d = %d, want %d",
+							name, size, got+i, dst[i], tr.Blocks[got+i])
+					}
+				}
+				got += n
+			}
+			if got != len(tr.Blocks) {
+				t.Fatalf("%s: NextBatch(len %d) delivered %d blocks, want %d",
+					name, size, got, len(tr.Blocks))
+			}
+			// Exhaustion is sticky: further batches and singles stay empty.
+			if n := src.NextBatch(dst); n != 0 {
+				t.Fatalf("%s: NextBatch after EOF = %d", name, n)
+			}
+			if _, ok := src.Next(); ok {
+				t.Fatalf("%s: Next after EOF succeeded", name)
+			}
+			if err := src.Close(); err != nil {
+				t.Fatalf("%s: Close: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestNextBatchInterleaved: singles and batches compose — alternating Next
+// and NextBatch calls walk the same sequence without loss or repetition.
+func TestNextBatchInterleaved(t *testing.T) {
+	prog, tr := skipTrace(t)
+	dst := make([]cfg.BlockID, 33)
+	for name, src := range sources(t, prog, tr) {
+		idx := 0
+		for idx < len(tr.Blocks) {
+			id, ok := src.Next()
+			if !ok || id != tr.Blocks[idx] {
+				t.Fatalf("%s: Next at %d = (%v,%v), want %d", name, idx, id, ok, tr.Blocks[idx])
+			}
+			idx++
+			n := src.NextBatch(dst)
+			for i := 0; i < n; i++ {
+				if dst[i] != tr.Blocks[idx+i] {
+					t.Fatalf("%s: batch block %d = %d, want %d",
+						name, idx+i, dst[i], tr.Blocks[idx+i])
+				}
+			}
+			idx += n
+			if n == 0 && idx < len(tr.Blocks) {
+				t.Fatalf("%s: NextBatch empty at %d of %d", name, idx, len(tr.Blocks))
+			}
+		}
+		if err := src.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// TestNextBatchEmptyDst: a zero-length destination returns 0 without
+// consuming anything.
+func TestNextBatchEmptyDst(t *testing.T) {
+	prog, tr := skipTrace(t)
+	for name, src := range sources(t, prog, tr) {
+		if n := src.NextBatch(nil); n != 0 {
+			t.Fatalf("%s: NextBatch(nil) = %d", name, n)
+		}
+		if id, ok := src.Next(); !ok || id != tr.Blocks[0] {
+			t.Fatalf("%s: NextBatch(nil) consumed the head block", name)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// legacyOnly exposes a source through the pre-NextBatch interface only, so
+// Batched must wrap it.
+type legacyOnly struct{ s Source }
+
+func (l *legacyOnly) Next() (cfg.BlockID, bool)     { return l.s.Next() }
+func (l *legacyOnly) Skip(n uint64) (uint64, error) { return l.s.Skip(n) }
+func (l *legacyOnly) Name() string                  { return l.s.Name() }
+func (l *legacyOnly) TotalInsts() (uint64, bool)    { return l.s.TotalInsts() }
+func (l *legacyOnly) Close() error                  { return l.s.Close() }
+
+// TestBatchedAdapter: Batched passes full sources through untouched and
+// wraps legacy ones in a loop adapter with identical delivery.
+func TestBatchedAdapter(t *testing.T) {
+	prog, tr := skipTrace(t)
+	full := tr.Source()
+	if got := Batched(full); got != Source(full) {
+		t.Fatal("Batched did not pass a full Source through")
+	}
+
+	src := Batched(&legacyOnly{s: NewGenSource(prog, GenConfig{Seed: 11, MaxInsts: 120_000})})
+	dst := make([]cfg.BlockID, 100)
+	idx := 0
+	for {
+		n := src.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != tr.Blocks[idx+i] {
+				t.Fatalf("adapter block %d = %d, want %d", idx+i, dst[i], tr.Blocks[idx+i])
+			}
+		}
+		idx += n
+	}
+	if idx != len(tr.Blocks) {
+		t.Fatalf("adapter delivered %d blocks, want %d", idx, len(tr.Blocks))
+	}
+	if src.Name() != tr.Name {
+		t.Fatalf("adapter Name = %q, want %q", src.Name(), tr.Name)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalNextBatchRegions: interval batches never span a region
+// boundary — every block of a batch shares the region LastRegion reports —
+// and batched delivery matches the per-block walk exactly.
+func TestIntervalNextBatchRegions(t *testing.T) {
+	prog, tr := skipTrace(t)
+
+	type step struct {
+		id  cfg.BlockID
+		reg Region
+	}
+	walk := func(iv *IntervalSource, batch int) []step {
+		var got []step
+		if batch == 0 {
+			for {
+				id, ok := iv.Next()
+				if !ok {
+					break
+				}
+				got = append(got, step{id, iv.LastRegion()})
+			}
+			return got
+		}
+		dst := make([]cfg.BlockID, batch)
+		for {
+			n := iv.NextBatch(dst)
+			if n == 0 {
+				break
+			}
+			reg := iv.LastRegion()
+			for i := 0; i < n; i++ {
+				got = append(got, step{dst[i], reg})
+			}
+		}
+		return got
+	}
+
+	mk := func() *IntervalSource {
+		src := tr.Source()
+		iv, err := NewInterval(src, prog, IntervalConfig{
+			Start: 60_000, End: 90_000, Warmup: 10_000, FuncWarm: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return iv
+	}
+
+	ref := walk(mk(), 0)
+	for _, batch := range []int{1, 13, 4096, len(tr.Blocks)} {
+		got := walk(mk(), batch)
+		if len(got) != len(ref) {
+			t.Fatalf("batch %d: %d blocks, want %d", batch, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("batch %d: step %d = %+v, want %+v", batch, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -576,39 +576,51 @@ func (s *FileSource) Next() (cfg.BlockID, bool) {
 	return id, ok
 }
 
+// startChunk ensures at least one undecoded block record remains in the
+// current chunk, reading the next chunk header — or the terminator and
+// footer — as needed. It returns false at end of stream or on error.
+func (s *FileSource) startChunk() bool {
+	if s.done {
+		return false
+	}
+	if s.remaining > 0 {
+		return true
+	}
+	if s.v1 {
+		s.done = true
+		return false
+	}
+	n, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.fail(fmt.Errorf("trace: reading chunk header after block %d: %w", s.read, err))
+		return false
+	}
+	if n == 0 { // terminator: read and validate the footer
+		s.done = true
+		if s.insts, err = binary.ReadUvarint(s.br); err != nil {
+			s.err = fmt.Errorf("trace: reading instruction count: %w", err)
+			return false
+		}
+		count, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			s.err = fmt.Errorf("trace: reading block count: %w", err)
+			return false
+		}
+		if count != s.read {
+			s.err = fmt.Errorf("trace: footer says %d blocks, decoded %d", count, s.read)
+			return false
+		}
+		s.exact = true
+		return false
+	}
+	s.remaining = n
+	return true
+}
+
 // decode reads and returns the next block record from the stream.
 func (s *FileSource) decode() (cfg.BlockID, bool) {
-	if s.done {
+	if !s.startChunk() {
 		return cfg.NoBlock, false
-	}
-	if s.remaining == 0 {
-		if s.v1 {
-			s.done = true
-			return cfg.NoBlock, false
-		}
-		n, err := binary.ReadUvarint(s.br)
-		if err != nil {
-			return s.fail(fmt.Errorf("trace: reading chunk header after block %d: %w", s.read, err))
-		}
-		if n == 0 { // terminator: read and validate the footer
-			s.done = true
-			if s.insts, err = binary.ReadUvarint(s.br); err != nil {
-				s.err = fmt.Errorf("trace: reading instruction count: %w", err)
-				return cfg.NoBlock, false
-			}
-			count, err := binary.ReadUvarint(s.br)
-			if err != nil {
-				s.err = fmt.Errorf("trace: reading block count: %w", err)
-				return cfg.NoBlock, false
-			}
-			if count != s.read {
-				s.err = fmt.Errorf("trace: footer says %d blocks, decoded %d", count, s.read)
-				return cfg.NoBlock, false
-			}
-			s.exact = true
-			return cfg.NoBlock, false
-		}
-		s.remaining = n
 	}
 	delta, err := binary.ReadVarint(s.br)
 	if err != nil {
@@ -623,6 +635,58 @@ func (s *FileSource) decode() (cfg.BlockID, bool) {
 	s.remaining--
 	s.read++
 	return cfg.BlockID(s.prev), true
+}
+
+// NextBatch fills dst with the next blocks of the trace, decoding whole
+// chunk remainders into the caller's buffer in one pass: the bulk form of
+// Next, same cursor, same accounting, same error semantics (a decode or
+// bound-program failure ends the batch early; the error surfaces from Err
+// and Close).
+func (s *FileSource) NextBatch(dst []cfg.BlockID) int {
+	n := 0
+	if s.havePending && n < len(dst) {
+		s.havePending = false
+		if s.prog != nil {
+			ni, ok := s.blockInsts(s.pending)
+			if !ok {
+				return n
+			}
+			s.instsRead += ni
+		}
+		dst[n] = s.pending
+		n++
+	}
+	for n < len(dst) && s.startChunk() {
+		k := len(dst) - n
+		if uint64(k) > s.remaining {
+			k = int(s.remaining)
+		}
+		for i := 0; i < k; i++ {
+			delta, err := binary.ReadVarint(s.br)
+			if err != nil {
+				s.fail(fmt.Errorf("trace: reading block %d: %w", s.read, err))
+				return n
+			}
+			s.prev += delta
+			if s.prev < 0 || s.prev > math.MaxInt32 {
+				s.fail(fmt.Errorf("trace: block ID %d out of range at record %d", s.prev, s.read))
+				return n
+			}
+			s.remaining--
+			s.read++
+			id := cfg.BlockID(s.prev)
+			if s.prog != nil {
+				ni, ok := s.blockInsts(id)
+				if !ok {
+					return n
+				}
+				s.instsRead += ni
+			}
+			dst[n] = id
+			n++
+		}
+	}
+	return n
 }
 
 func (s *FileSource) fail(err error) (cfg.BlockID, bool) {

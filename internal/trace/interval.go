@@ -173,6 +173,34 @@ func (s *IntervalSource) Next() (cfg.BlockID, bool) {
 	return s.consume(ni), true
 }
 
+// NextBatch fills dst with the next blocks of the interval. A batch never
+// spans a region boundary — every delivered block shares the region
+// LastRegion reports — so consumers that flag whole batches stay exact;
+// inside a region (the common, all-measured case) it is the bulk form of
+// Next.
+func (s *IntervalSource) NextBatch(dst []cfg.BlockID) int {
+	n := 0
+	var reg Region
+	for n < len(dst) {
+		ni, ok := s.peekLen()
+		if !ok {
+			break
+		}
+		if s.end > 0 && s.pos+ni > s.end {
+			s.done = true
+			break
+		}
+		if r := s.region(ni); n == 0 {
+			reg = r
+		} else if r != reg {
+			break
+		}
+		dst[n] = s.consume(ni)
+		n++
+	}
+	return n
+}
+
 // Skip fast-forwards within the interval (maximal whole-block prefix of at
 // most n instructions), never past its end boundary.
 func (s *IntervalSource) Skip(n uint64) (uint64, error) {

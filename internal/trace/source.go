@@ -28,6 +28,16 @@ type Source interface {
 	// Next returns the next executed block; ok is false once the trace is
 	// exhausted.
 	Next() (id cfg.BlockID, ok bool)
+	// NextBatch fills dst with the next executed blocks and returns how
+	// many were delivered — the bulk form of Next, letting consumers pay
+	// one interface call per batch instead of one per block. It returns 0
+	// (for a non-empty dst) only once the trace is exhausted; short
+	// non-zero batches are allowed (a file source may stop at a chunk
+	// boundary, an interval source at a region boundary). Interleaving
+	// NextBatch and Next is valid: both consume the same cursor.
+	// Third-party sources implementing only the legacy interface can be
+	// adapted with Batched.
+	NextBatch(dst []cfg.BlockID) int
 	// Skip fast-forwards the source past the maximal prefix of its
 	// remaining whole blocks whose cumulative CFG-level instruction count
 	// does not exceed n, returning the count actually skipped (less than
@@ -63,6 +73,44 @@ func satAdd(a, b uint64) uint64 {
 	return ^uint64(0)
 }
 
+// LegacySource is the pre-NextBatch source contract: everything a Source
+// provides except bulk delivery. Third-party implementations written
+// against the old interface satisfy it unchanged.
+type LegacySource interface {
+	Next() (id cfg.BlockID, ok bool)
+	Skip(n uint64) (skipped uint64, err error)
+	Name() string
+	TotalInsts() (n uint64, exact bool)
+	Close() error
+}
+
+// Batched adapts a legacy source to the full Source interface, deriving
+// NextBatch from repeated Next calls. A source that already implements
+// Source is returned as-is. The adapter forwards only the Source methods:
+// optional contracts on the wrapped value (Bind, warmup regions, Seekable)
+// are hidden, so adapt third-party sources, not the built-in ones.
+func Batched(s LegacySource) Source {
+	if full, ok := s.(Source); ok {
+		return full
+	}
+	return &batchAdapter{s}
+}
+
+type batchAdapter struct{ LegacySource }
+
+func (a *batchAdapter) NextBatch(dst []cfg.BlockID) int {
+	n := 0
+	for n < len(dst) {
+		id, ok := a.LegacySource.Next()
+		if !ok {
+			break
+		}
+		dst[n] = id
+		n++
+	}
+	return n
+}
+
 // GenSource produces the block sequence on the fly from a seeded CFG walk,
 // with no slice ever built. It emits exactly the sequence Generate would
 // materialize for the same GenConfig.
@@ -96,6 +144,27 @@ func (s *GenSource) Next() (cfg.BlockID, bool) {
 		s.done = true
 	}
 	return id, ok
+}
+
+// NextBatch fills dst from the CFG walk, stopping at the generation budget
+// or program termination — exactly the blocks len(dst) Next calls would
+// deliver, through one call.
+func (s *GenSource) NextBatch(dst []cfg.BlockID) int {
+	n := 0
+	for n < len(dst) {
+		if s.done || s.g.Insts() >= s.max {
+			s.done = true
+			break
+		}
+		id, ok := s.g.Next()
+		if !ok {
+			s.done = true
+			break
+		}
+		dst[n] = id
+		n++
+	}
+	return n
 }
 
 // Skip fast-forwards the seeded CFG walk without layout expansion: blocks
@@ -163,6 +232,13 @@ func (s *SliceSource) Next() (cfg.BlockID, bool) {
 	id := s.blocks[s.i]
 	s.i++
 	return id, true
+}
+
+// NextBatch copies the next blocks of the slice into dst.
+func (s *SliceSource) NextBatch(dst []cfg.BlockID) int {
+	n := copy(dst, s.blocks[s.i:])
+	s.i += n
+	return n
 }
 
 // Bind associates the program the trace was recorded against, giving the

@@ -13,7 +13,9 @@
 // generated on the fly, streamed from disk, or wrapped around an in-memory
 // slice. Consumers that iterate a Source run in memory independent of trace
 // length, which is what makes paper-scale (100M+ instruction) runs
-// practical.
+// practical. Hot consumers pull blocks in bulk through Source.NextBatch —
+// one interface call per batch instead of one per block — with Batched
+// adapting legacy one-at-a-time sources.
 package trace
 
 import (
