@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"testing"
 
@@ -37,6 +38,19 @@ var (
 	prepCfg     experiments.Config
 	prepErr     error
 )
+
+// benchEngines is Engines() minus the chaos test doubles: the chaos tests
+// register deliberately misbehaving engines at runtime, and a `go test
+// -bench` run in the same binary must not sweep them into the tables.
+func benchEngines() []string {
+	var es []string
+	for _, e := range streamfetch.Engines() {
+		if !strings.HasPrefix(e, "chaos-") {
+			es = append(es, e)
+		}
+	}
+	return es
+}
 
 // prepared builds a three-benchmark subset once, shared by every benchmark.
 func prepared(b *testing.B) ([]experiments.Bench, experiments.Config) {
@@ -63,12 +77,12 @@ func BenchmarkFig8IPC(b *testing.B) {
 		b.Run(fmt.Sprintf("width%d", width), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cells, err := experiments.Sweep(context.Background(), benches, width,
-					[]string{"base", "optimized"}, streamfetch.Engines(), cfg.Parallel)
+					[]string{"base", "optimized"}, benchEngines(), cfg.Parallel)
 				if err != nil {
 					b.Fatal(err)
 				}
 				h := experiments.HarmonicIPC(cells)
-				for _, e := range streamfetch.Engines() {
+				for _, e := range benchEngines() {
 					b.ReportMetric(h[[2]string{"optimized", e}], e+"-opt-IPC")
 				}
 			}
@@ -114,7 +128,7 @@ func BenchmarkTable1UnitSizes(b *testing.B) {
 // fetch IPC per engine on the 8-wide processor with optimized layouts.
 func BenchmarkTable3FetchMetrics(b *testing.B) {
 	benches, cfg := prepared(b)
-	for _, e := range streamfetch.Engines() {
+	for _, e := range benchEngines() {
 		e := e
 		b.Run(e, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -267,7 +281,7 @@ func BenchmarkAblationFTQDepth(b *testing.B) {
 func BenchmarkSimThroughput(b *testing.B) {
 	benches, _ := prepared(b)
 	bench := benches[0]
-	for _, e := range streamfetch.Engines() {
+	for _, e := range benchEngines() {
 		e := e
 		b.Run(e, func(b *testing.B) {
 			var retired uint64

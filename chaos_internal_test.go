@@ -1,0 +1,343 @@
+// Chaos tests for the serve layer's durability promises: a crash-point
+// harness that kills the store at every write point and asserts the
+// recovery invariants, and a degraded-mode test that walks the server
+// through store failure, memory-only acceptance, and probe-driven
+// recovery. They live in the internal package to drive the job manager
+// directly and to observe the degraded/retry state the HTTP surface only
+// summarizes.
+package streamfetch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"streamfetch/internal/retry"
+	"streamfetch/internal/store"
+	"streamfetch/internal/store/faultstore"
+)
+
+// fastRetry keeps chaos tests quick: the production policy's ~100ms worst
+// case per failed write adds up across a dozen crash points.
+var fastRetry = retry.Policy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond, Multiplier: 2}
+
+// chaosReqs is the crash-harness workload: three small distinct runs, so
+// the write sequence covers submit journals, blob writes and terminal
+// journals for several jobs.
+func chaosReqs() []RunRequest {
+	var reqs []RunRequest
+	for _, seed := range []uint64{61, 62, 63} {
+		reqs = append(reqs, RunRequest{
+			Benchmark: "164.gzip", Engine: "streams", Layout: "base",
+			Width: 4, Insts: 20_000, Seed: seed,
+		})
+	}
+	return reqs
+}
+
+// renderReport renders a report exactly as the service and golden tests
+// do, for byte-identity comparison.
+func renderReport(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// directOracle runs req straight through a Session — the differential
+// oracle every recovered or re-simulated result must match byte for byte.
+func directOracle(t *testing.T, req RunRequest) []byte {
+	t.Helper()
+	sess := New(req.Benchmark, WithInstructions(req.Insts), WithSeed(req.Seed))
+	rep, err := sess.RunWith(context.Background(),
+		WithEngine(req.Engine), WithLayout(req.Layout), WithWidth(req.Width))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderReport(t, rep)
+}
+
+// TestChaosCrashPoints crash-stops the store at every write point of a
+// three-job workload — tearing the journal tail and orphaning a blob temp
+// file the way power loss would — then restarts on the wreckage and
+// asserts the recovery invariants: no journaled-accepted job is lost,
+// jobs recovered terminal are served as-is (no duplicate simulation),
+// every recovered job ends byte-identical to a direct Session run, and no
+// temp orphans survive.
+func TestChaosCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep is not short")
+	}
+	reqs := chaosReqs()
+	oracle := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		oracle[i] = directOracle(t, req)
+	}
+
+	// A clean three-run workload issues 9 writes (3 submit journals, 3
+	// blobs, 3 terminal journals); point 10 never fires and doubles as a
+	// clean-restart control.
+	const crashPoints = 10
+	for point := 1; point <= crashPoints; point++ {
+		dir := t.TempDir()
+		inner, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fst := faultstore.Wrap(inner)
+		fst.OnCrash = func(faultstore.Op) {
+			if err := faultstore.TearJournal(dir); err != nil {
+				t.Errorf("point %d: tearing journal: %v", point, err)
+			}
+			if err := faultstore.DropOrphan(dir); err != nil {
+				t.Errorf("point %d: dropping orphan: %v", point, err)
+			}
+		}
+		fst.CrashAt(faultstore.OpWrite, point)
+
+		srvA, err := NewServer(WithStore(fst), WithWorkers(1), WithQueueDepth(8))
+		if err != nil {
+			t.Fatalf("point %d: %v", point, err)
+		}
+		srvA.mgr.retryPolicy = fastRetry
+
+		type accepted struct {
+			j       *job
+			durable bool // journaled while healthy: must survive the crash
+		}
+		var acc []accepted
+		for i, req := range reqs {
+			degradedBefore := srvA.mgr.degraded.Load()
+			j, err := srvA.mgr.newRunJob(req)
+			if err != nil {
+				// The only legitimate refusal in this workload is the
+				// store failing at the acceptance write.
+				if !errors.Is(err, ErrStore) {
+					t.Fatalf("point %d: submit %d refused with %v, want ErrStore", point, i, err)
+				}
+				continue
+			}
+			// Degraded false on both sides of the call ⇒ the submit
+			// journal was written and acknowledged ⇒ durability promised.
+			acc = append(acc, accepted{j, !degradedBefore && !srvA.mgr.degraded.Load()})
+		}
+		// Every accepted job reaches a terminal state in memory, crashed
+		// store or not: serving never depends on the disk.
+		for _, a := range acc {
+			select {
+			case <-a.j.done:
+			case <-time.After(2 * time.Minute):
+				t.Fatalf("point %d: job %s never finished in-process", point, a.j.id)
+			}
+		}
+
+		// Crash the process: the drain context is already cancelled, so
+		// nothing gracefully finishes on the way out.
+		cctx, ccancel := context.WithCancel(context.Background())
+		ccancel()
+		srvA.Shutdown(cctx)
+		inner.Close()
+
+		// Next process, step 1: opening the directory must seal the torn
+		// journal line and sweep the orphaned temp file.
+		recovered, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("point %d: reopening crashed dir: %v", point, err)
+		}
+		recs, err := recovered.Recover()
+		if err != nil {
+			t.Fatalf("point %d: %v", point, err)
+		}
+		recovered.Close()
+		filepath.WalkDir(filepath.Join(dir, "blobs"), func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), "tmp-") {
+				t.Errorf("point %d: orphan %s survived recovery", point, d.Name())
+			}
+			return nil
+		})
+
+		byID := map[string]store.JournalRecord{}
+		pending := 0
+		for _, rec := range recs {
+			if rec.Kind == "probe" {
+				continue
+			}
+			byID[rec.ID] = rec
+			if !store.Terminal(rec.State) {
+				pending++
+			}
+		}
+		// Invariant 1: no accepted job lost. Every submission journaled
+		// while the server was healthy is present after the crash.
+		for _, a := range acc {
+			if _, ok := byID[a.j.id]; a.durable && !ok {
+				t.Errorf("point %d: job %s was accepted durably but vanished from the journal", point, a.j.id)
+			}
+		}
+
+		// Next process, step 2: a server on the recovered directory. The
+		// fault wrapper (no faults armed) counts its writes: blob writes
+		// bound how many simulations actually re-ran.
+		inner2, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fst2 := faultstore.Wrap(inner2)
+		srvB, err := NewServer(WithStore(fst2), WithWorkers(1), WithQueueDepth(8))
+		if err != nil {
+			t.Fatalf("point %d: restart: %v", point, err)
+		}
+		for id := range byID {
+			j := srvB.mgr.get(id)
+			if j == nil {
+				t.Errorf("point %d: recovered job %s not served after restart", point, id)
+				continue
+			}
+			select {
+			case <-j.done:
+			case <-time.After(2 * time.Minute):
+				t.Fatalf("point %d: recovered job %s never finished", point, id)
+			}
+			env := j.envelope()
+			if env.State != JobDone {
+				t.Errorf("point %d: recovered job %s finished %s (error %q), want done",
+					point, id, env.State, env.Error)
+				continue
+			}
+			// Invariant 2: byte-identical results. The submission index is
+			// the id's numeric suffix — ids are minted per submission.
+			seq, ok := jobSeq(id)
+			if !ok || seq < 1 || seq > len(reqs) {
+				t.Errorf("point %d: unexpected recovered id %q", point, id)
+				continue
+			}
+			if got := renderReport(t, env.Report); !bytes.Equal(got, oracle[seq-1]) {
+				t.Errorf("point %d: job %s report diverged from the direct oracle after recovery", point, id)
+			}
+		}
+		// Invariant 3: no duplicate simulation. Only jobs recovered
+		// non-terminal may re-run (a blob write per fresh simulation);
+		// jobs recovered terminal serve their journaled envelope as-is.
+		if got := fst2.Calls(faultstore.OpPutBlob); got > pending {
+			t.Errorf("point %d: %d blob writes after restart with %d pending jobs — a finished job re-simulated",
+				point, got, pending)
+		}
+
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srvB.Shutdown(sctx); err != nil {
+			t.Errorf("point %d: clean shutdown: %v", point, err)
+		}
+		scancel()
+		inner2.Close()
+	}
+}
+
+// TestChaosDegradedStore walks the full degradation cycle: a persistently
+// failing journal refuses the submission that discovers it (ErrStore) and
+// flips the server degraded; while degraded, submissions are accepted
+// memory-only and still run to completion; healing the store lets the
+// background probe flip the server healthy, after which submissions are
+// journaled durably again.
+func TestChaosDegradedStore(t *testing.T) {
+	inner := store.NewMem()
+	fst := faultstore.Wrap(inner)
+	srv, err := NewServer(WithStore(fst), WithWorkers(1),
+		WithStoreProbeInterval(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	m := srv.mgr
+	m.retryPolicy = fastRetry
+
+	req := RunRequest{Benchmark: "164.gzip", Engine: "streams", Layout: "base",
+		Width: 4, Insts: 15_000, Seed: 71}
+
+	// Healthy server, dead disk: the discovering submission is refused —
+	// a 202 is a durability promise the server cannot keep — and the
+	// failure flips degraded mode.
+	fst.FailAll(faultstore.OpJournal, syscall.ENOSPC)
+	if _, err := m.newRunJob(req); !errors.Is(err, ErrStore) {
+		t.Fatalf("submit on failing store: %v, want ErrStore", err)
+	}
+	degraded, lastErr, lastAt := m.storeHealth()
+	if !degraded || !strings.Contains(lastErr, "no space") || lastAt.IsZero() {
+		t.Fatalf("after store failure: degraded=%v lastErr=%q lastAt=%v", degraded, lastErr, lastAt)
+	}
+	if m.retries.Load() == 0 {
+		t.Error("no retries recorded; the failed write should have been retried before degrading")
+	}
+
+	// Degraded server: submissions are accepted from memory and run to
+	// completion — availability over durability, as declared.
+	req.Seed = 72
+	j, err := m.newRunJob(req)
+	if err != nil {
+		t.Fatalf("submit while degraded: %v, want memory-only acceptance", err)
+	}
+	select {
+	case <-j.done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("memory-only job never finished")
+	}
+	if env := j.envelope(); env.State != JobDone {
+		t.Fatalf("memory-only job finished %s (error %q), want done", env.State, env.Error)
+	}
+	if recs, _ := inner.Recover(); len(recs) != 0 {
+		t.Fatalf("degraded acceptance reached the journal: %+v", recs)
+	}
+
+	// The disk comes back: the probe's next test write lands and flips
+	// the server healthy.
+	fst.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if degraded, _, _ := m.storeHealth(); !degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered from degraded mode after the store healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Healthy again: the next submission is journaled durably.
+	req.Seed = 73
+	j2, err := m.newRunJob(req)
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	recs, err := inner.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journaled bool
+	for _, rec := range recs {
+		if rec.ID == j2.id {
+			journaled = true
+		}
+	}
+	if !journaled {
+		t.Errorf("post-recovery submission %s not journaled; records: %+v", j2.id, recs)
+	}
+	select {
+	case <-j2.done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("post-recovery job never finished")
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	streamfetchd [-addr :8329] [-queue 64] [-workers 0] [-drain 60s]
 //	             [-store-dir DIR] [-session-cache 64]
+//	             [-max-job-time 1h] [-watchdog 2m]
 //
 // With -store-dir the daemon is durable: accepted jobs are journaled
 // (fsync'd) before the 202, terminal results become content-addressed
@@ -32,6 +33,14 @@
 // queued and in-flight jobs finish (bounded by -drain, after which they
 // are cancelled — and, with -store-dir, re-enqueued by the next start),
 // polls keep answering, then the process exits.
+//
+// Robustness: every job's execution time is capped by -max-job-time (a
+// request's timeout_ms can tighten but not exceed it), -watchdog cancels
+// jobs making no measurable progress, an engine panic fails only its own
+// job, and a persistently failing store flips the daemon into degraded
+// memory-only acceptance (visible on /healthz) instead of taking it
+// down. The HTTP server itself carries header/read/write timeouts so a
+// stuck client cannot pin a connection forever.
 package main
 
 import (
@@ -55,12 +64,16 @@ func main() {
 	drain := flag.Duration("drain", 60*time.Second, "graceful shutdown drain timeout")
 	storeDir := flag.String("store-dir", "", "durable store directory: job journal + content-addressed result cache (empty = in-memory)")
 	sessionCache := flag.Int("session-cache", 64, "prepared-session LRU capacity (must be positive)")
+	maxJobTime := flag.Duration("max-job-time", time.Hour, "cap on any job's execution time (0 = unbounded); expired jobs fail with their partial report")
+	watchdog := flag.Duration("watchdog", 2*time.Minute, "cancel jobs with no measurable progress for this long (0 = disabled)")
 	flag.Parse()
 
 	opts := []streamfetch.ServerOption{
 		streamfetch.WithQueueDepth(*queue),
 		streamfetch.WithWorkers(*workers),
 		streamfetch.WithSessionCacheSize(*sessionCache),
+		streamfetch.WithMaxJobTime(*maxJobTime),
+		streamfetch.WithWatchdog(*watchdog),
 	}
 	if *storeDir != "" {
 		opts = append(opts, streamfetch.WithStoreDir(*storeDir))
@@ -69,7 +82,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("streamfetchd: %v", err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A client that stalls mid-headers or never reads its response
+		// must not pin a connection (and its goroutine) forever. Writes
+		// get the long budget: a sweep report can be large and a poll can
+		// land on a loaded box.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)

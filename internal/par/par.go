@@ -13,7 +13,9 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -100,7 +102,9 @@ func TryHold() (release func(), ok bool) { return tryAcquire() }
 // other fan-outs finishing mid-run. The first error — or context
 // cancellation — stops new work from being claimed; in-flight calls
 // finish, every worker joins before return (no goroutine leaks), and that
-// first error is returned.
+// first error is returned. A panic in f is contained the same way: it
+// becomes that call's error (stack attached) instead of unwinding a
+// worker goroutine and killing the process.
 func Do(ctx context.Context, n int, parallel bool, f func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -115,6 +119,17 @@ func Do(ctx context.Context, n int, parallel bool, f func(i int) error) error {
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
 		failed.Store(true)
+	}
+	// call guards one f(i) behind a recover barrier: a worker goroutine
+	// that panicked would otherwise take the whole process down, and the
+	// calling goroutine's panic would leak the spawned workers mid-flight.
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("par: worker panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return f(i)
 	}
 	var work func()
 	// spawn adds one extra worker if the pool can spare a token right
@@ -146,7 +161,7 @@ func Do(ctx context.Context, n int, parallel bool, f func(i int) error) error {
 			if parallel && i+1 < n {
 				spawn()
 			}
-			if err := f(i); err != nil {
+			if err := call(i); err != nil {
 				fail(err)
 				return
 			}

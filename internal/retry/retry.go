@@ -1,0 +1,112 @@
+// Package retry is bounded exponential backoff with jitter for transient
+// faults: the serve layer uses it around post-acceptance store writes, so
+// a hiccuping disk (a momentary ENOSPC, an NFS blip) costs a few
+// milliseconds of retrying instead of a lost journal record — and a disk
+// that stays dead fails fast enough to flip the server into its explicit
+// degraded mode rather than stalling workers.
+//
+// The package is deliberately small: a Policy of attempt count and delay
+// bounds, and Do, which runs an operation under it. Delays grow
+// geometrically, are capped, carry full jitter (uniform in [d/2, d)), and
+// respect context cancellation — a retry loop never outlives the request
+// or server that started it.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy bounds a retry loop: how many total attempts, and how the delay
+// between them grows. The zero value is not useful; start from Default.
+type Policy struct {
+	// Attempts is the total number of tries (the first call included).
+	// Values below 1 behave as 1: a single attempt, no retrying.
+	Attempts int
+	// Base is the delay before the first retry; each subsequent delay
+	// multiplies by Multiplier (default 2) and is capped at Max (default
+	// Base). Every delay is jittered uniformly in [d/2, d) so synchronized
+	// failures don't retry in lockstep.
+	Base       time.Duration
+	Max        time.Duration
+	Multiplier float64
+}
+
+// Default is the serve layer's store-write policy: four attempts spanning
+// roughly a hundred milliseconds — long enough to ride out a transient
+// fault, short enough that a dead disk flips the server into degraded
+// mode before clients notice more than a blip.
+func Default() Policy {
+	return Policy{Attempts: 4, Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Multiplier: 4}
+}
+
+// Do runs fn under p, retrying failures until an attempt succeeds, the
+// attempts are exhausted, or ctx is cancelled. It returns nil on success,
+// ctx's cause when cancelled mid-loop, and otherwise the last error
+// wrapped with the attempt count. onRetry, when non-nil, is invoked once
+// per retry (not for the first attempt) before the backoff sleep — the
+// serve layer counts them for its health surface.
+func Do(ctx context.Context, p Policy, fn func() error, onRetry func(err error)) error {
+	attempts := max(p.Attempts, 1)
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	maxDelay := p.Max
+	if maxDelay <= 0 {
+		maxDelay = p.Base
+	}
+	delay := p.Base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if onRetry != nil {
+				onRetry(err)
+			}
+			if !sleep(ctx, jitter(delay)) {
+				return context.Cause(ctx)
+			}
+			if delay = time.Duration(float64(delay) * mult); delay > maxDelay {
+				delay = maxDelay
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+	}
+	if attempts == 1 {
+		return err
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, err)
+}
+
+// jitter spreads a delay uniformly over [d/2, d), so many callers backing
+// off from one shared fault don't hammer it in phase.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half)
+}
+
+// sleep waits d or until ctx is cancelled, reporting whether the full
+// delay elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDoSucceedsAfterTransientFailures: a fault that clears mid-loop
+// yields success, with one onRetry callback per retry.
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls, retries := 0, 0
+	errTransient := errors.New("transient")
+	err := Do(context.Background(),
+		Policy{Attempts: 5, Base: time.Microsecond},
+		func() error {
+			calls++
+			if calls < 3 {
+				return errTransient
+			}
+			return nil
+		},
+		func(err error) {
+			retries++
+			if !errors.Is(err, errTransient) {
+				t.Errorf("onRetry saw %v, want the transient error", err)
+			}
+		})
+	if err != nil {
+		t.Fatalf("Do = %v, want success", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+// TestDoExhaustsAttempts: a persistent fault is bounded by Attempts and
+// the final error wraps the last failure with the attempt count.
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	errDead := errors.New("dead")
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond},
+		func() error { calls++; return errDead }, nil)
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, errDead) {
+		t.Errorf("Do = %v, want it to wrap the last error", err)
+	}
+}
+
+// TestDoSingleAttempt: Attempts <= 1 means exactly one try, error
+// returned unwrapped.
+func TestDoSingleAttempt(t *testing.T) {
+	errDead := errors.New("dead")
+	for _, attempts := range []int{0, 1, -2} {
+		calls := 0
+		err := Do(context.Background(), Policy{Attempts: attempts},
+			func() error { calls++; return errDead }, nil)
+		if calls != 1 {
+			t.Errorf("Attempts=%d: calls = %d, want 1", attempts, calls)
+		}
+		if err != errDead {
+			t.Errorf("Attempts=%d: Do = %v, want the bare error", attempts, err)
+		}
+	}
+}
+
+// TestDoContextCancel: cancellation interrupts the backoff sleep and
+// returns the context's cause instead of retrying to exhaustion.
+func TestDoContextCancel(t *testing.T) {
+	cause := errors.New("shutting down")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	calls := 0
+	start := time.Now()
+	err := Do(ctx, Policy{Attempts: 10, Base: time.Hour},
+		func() error {
+			calls++
+			cancel(cause)
+			return errors.New("fault")
+		}, nil)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Do slept %s through cancellation", elapsed)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancelled before any retry)", calls)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("Do = %v, want the cancellation cause", err)
+	}
+}
+
+// TestJitterBounds: jittered delays stay within [d/2, d).
+func TestJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		got := jitter(d)
+		if got < d/2 || got >= d {
+			t.Fatalf("jitter(%s) = %s, want in [%s, %s)", d, got, d/2, d)
+		}
+	}
+}
+
+// TestDelayGrowthCapped: the per-retry delay grows by Multiplier and is
+// capped at Max. Observed via wall clock with microsecond-scale delays.
+func TestDelayGrowthCapped(t *testing.T) {
+	p := Policy{Attempts: 4, Base: time.Microsecond, Max: 2 * time.Microsecond, Multiplier: 100}
+	start := time.Now()
+	_ = Do(context.Background(), p, func() error { return errors.New("x") }, nil)
+	// Three retries, each jittered below 2µs: far under a second even on
+	// a loaded box. (A missing cap at Multiplier 100 would sleep ~10ms+.)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("retry loop took %s; Max cap not applied?", elapsed)
+	}
+}

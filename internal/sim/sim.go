@@ -91,6 +91,11 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// progressCycles is the cycle-cadence backstop for OnProgress: even an
+// engine that retires nothing gets a callback at least this often, which
+// keeps a wedged simulation observable and cancellable.
+const progressCycles = 1 << 16
+
 // Result aggregates one simulation's outcome: the run's identity, its
 // mergeable counter block (the measured phase, when the source carried a
 // warmup lead-in), and rates derived from those counters.
@@ -410,6 +415,7 @@ func (p *Processor) Run() Result {
 		supplyDone      bool
 		validated       uint64
 		nextProgress    = cfg.ProgressInterval
+		nextProgCycle   = uint64(progressCycles)
 		res             Result
 		wantRetired     = cfg.MaxInsts
 		decodePenalty   = uint64(cfg.Pipeline.DecodePenalty)
@@ -566,8 +572,14 @@ func (p *Processor) Run() Result {
 		if wantRetired > 0 && res.Retired >= wantRetired {
 			break
 		}
-		if cfg.OnProgress != nil && res.Retired >= nextProgress {
+		// Progress fires on retired instructions — and, as a backstop, on a
+		// cycle cadence: an engine that stops retiring (wedged, livelocked)
+		// must still surface callbacks, or cancellation and watchdogs could
+		// never reach it. The callback only reads counters, so the extra
+		// cadence cannot perturb simulated state.
+		if cfg.OnProgress != nil && (res.Retired >= nextProgress || cycle >= nextProgCycle) {
 			nextProgress = res.Retired + cfg.ProgressInterval
+			nextProgCycle = cycle + progressCycles
 			if !cfg.OnProgress(res.Retired, cycle) {
 				res.Aborted = true
 				break

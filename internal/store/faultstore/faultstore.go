@@ -1,0 +1,244 @@
+// Package faultstore is the fault-injection layer for the durability
+// stack: a store.Store wrapper that fails, corrupts or crash-stops
+// scripted store operations, so the serve layer's degradation and
+// recovery paths are specified and enforced by tests instead of assumed.
+//
+// Faults are scripted against per-operation call counters:
+//
+//	fs := faultstore.Wrap(inner)
+//	fs.FailAt(faultstore.OpJournal, 3, syscall.ENOSPC) // 3rd Journal call fails
+//	fs.FailAll(faultstore.OpPutBlob, syscall.EIO)      // every PutBlob fails until Heal
+//	fs.CrashAt(faultstore.OpWrite, 5)                  // 5th write crash-stops the store
+//
+// A crash-stop models power loss mid-write: the scripted call (and every
+// call after it) returns ErrCrashed without reaching the inner store, and
+// an optional OnCrash hook runs first — the crash-point harness uses it
+// with TearJournal/DropOrphan to leave exactly the on-disk wreckage a real
+// crash would (a torn half-record at the journal tail, an orphaned blob
+// temp file). Reopening the directory with a fresh store.FS then exercises
+// the real recovery path: seal the torn line, sweep the orphan, replay.
+package faultstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"streamfetch/internal/store"
+)
+
+// Op names an injectable store operation. OpWrite is a pseudo-op matching
+// both Journal and PutBlob under one shared counter — the write points a
+// crash harness enumerates.
+type Op string
+
+const (
+	OpJournal Op = "journal"
+	OpPutBlob Op = "putblob"
+	OpGetBlob Op = "getblob"
+	OpWrite   Op = "write" // Journal ∪ PutBlob, jointly counted
+)
+
+// ErrCrashed is returned by every operation after a scripted crash-stop:
+// the process is pretending the machine died at that write point.
+var ErrCrashed = errors.New("faultstore: store crash-stopped")
+
+// fault is one scripted injection: fire on the call-th matching call
+// (1-based), returning err or crash-stopping.
+type fault struct {
+	op    Op
+	call  int
+	err   error
+	crash bool
+}
+
+// Store wraps an inner store.Store with scripted faults. Safe for
+// concurrent use; the scripting calls (FailAt, FailAll, CrashAt, Heal)
+// may race operations, taking effect from the next matching call.
+type Store struct {
+	inner store.Store
+
+	// OnCrash, when set, runs once as a scripted crash-stop fires, before
+	// any call starts failing — the place to tear on-disk state the way a
+	// real crash would. Set it before arming CrashAt.
+	OnCrash func(op Op)
+
+	mu      sync.Mutex
+	calls   map[Op]int
+	script  []fault
+	failAll map[Op]error
+	crashed bool
+}
+
+// Wrap builds a fault-injecting wrapper around inner with no faults
+// armed: every operation passes through until scripted otherwise.
+func Wrap(inner store.Store) *Store {
+	return &Store{inner: inner, calls: map[Op]int{}, failAll: map[Op]error{}}
+}
+
+// FailAt arms a one-shot fault: the call-th (1-based) future call of op
+// returns err instead of reaching the inner store.
+func (s *Store) FailAt(op Op, call int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.script = append(s.script, fault{op: op, call: s.calls[op] + call, err: err})
+}
+
+// FailAll arms a persistent fault: every call of op fails with err until
+// Heal. Models a disk that stays dead rather than hiccups.
+func (s *Store) FailAll(op Op, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAll[op] = err
+}
+
+// CrashAt arms a crash-stop at the call-th (1-based) future call of op:
+// OnCrash fires, then that call and every operation after it return
+// ErrCrashed. The wrapped store never recovers — recovery is the next
+// process's job, on a fresh store opened over the same state.
+func (s *Store) CrashAt(op Op, call int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.script = append(s.script, fault{op: op, call: s.calls[op] + call, crash: true})
+}
+
+// Heal clears every persistent FailAll fault (one-shot scripted faults
+// and a crash-stop stay armed): the disk came back.
+func (s *Store) Heal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failAll = map[Op]error{}
+}
+
+// Calls reports how many times op has been attempted (faulted attempts
+// included). OpWrite reports the joint Journal+PutBlob counter.
+func (s *Store) Calls(op Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[op]
+}
+
+// Crashed reports whether a scripted crash-stop has fired.
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// check advances op's counter (and OpWrite's, for writes) and returns the
+// injected error, if any fault fires. ops lists the counters this call
+// matches, the primary op first.
+func (s *Store) check(ops ...Op) error {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	var fire *fault
+	for _, op := range ops {
+		s.calls[op]++
+		for i := range s.script {
+			f := &s.script[i]
+			if f.op == op && f.call == s.calls[op] {
+				fire = f
+				break
+			}
+		}
+	}
+	if fire != nil && fire.crash {
+		s.crashed = true
+		hook := s.OnCrash
+		s.mu.Unlock()
+		if hook != nil {
+			hook(ops[0]) // the actual operation, not the counter it matched
+		}
+		return ErrCrashed
+	}
+	if fire != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("faultstore: injected %s fault: %w", fire.op, fire.err)
+	}
+	for _, op := range ops {
+		if err := s.failAll[op]; err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("faultstore: injected %s fault: %w", op, err)
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) Name() string { return s.inner.Name() }
+
+func (s *Store) Journal(rec store.JournalRecord) error {
+	if err := s.check(OpJournal, OpWrite); err != nil {
+		return err
+	}
+	return s.inner.Journal(rec)
+}
+
+func (s *Store) Recover() ([]store.JournalRecord, error) {
+	s.mu.Lock()
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return s.inner.Recover()
+}
+
+func (s *Store) PutBlob(key string, data []byte) error {
+	if err := s.check(OpPutBlob, OpWrite); err != nil {
+		return err
+	}
+	return s.inner.PutBlob(key, data)
+}
+
+func (s *Store) GetBlob(key string) ([]byte, bool, error) {
+	if err := s.check(OpGetBlob); err != nil {
+		return nil, false, err
+	}
+	return s.inner.GetBlob(key)
+}
+
+func (s *Store) Stats() (store.Stats, error) {
+	s.mu.Lock()
+	crashed := s.crashed
+	s.mu.Unlock()
+	if crashed {
+		return store.Stats{}, ErrCrashed
+	}
+	return s.inner.Stats()
+}
+
+// Close closes the inner store — even "after a crash", so tests can
+// release file handles before reopening the directory.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// TearJournal appends half a record with no trailing newline to the
+// journal of a store.FS directory — the torn tail a crash mid-append
+// leaves. A fresh Open must seal it and Recover must ignore it.
+func TearJournal(dir string) error {
+	f, err := os.OpenFile(filepath.Join(dir, "journal.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(`{"id":"torn-by-crash","kind":"run","state":"qu`)
+	return err
+}
+
+// DropOrphan writes a partial blob temp file into a store.FS directory —
+// the orphan a crash between CreateTemp and rename leaves. A fresh Open
+// must sweep it.
+func DropOrphan(dir string) error {
+	blobs := filepath.Join(dir, "blobs")
+	if err := os.MkdirAll(blobs, 0o777); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(blobs, "tmp-crash-orphan"),
+		[]byte("SFBL1\n\x00partial"), 0o666)
+}

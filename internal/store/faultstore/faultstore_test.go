@@ -1,0 +1,250 @@
+package faultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"streamfetch/internal/store"
+)
+
+func rec(id, state string) store.JournalRecord {
+	return store.JournalRecord{ID: id, Kind: "run", State: state, Time: time.Unix(0, 0).UTC()}
+}
+
+// TestScriptedFaults: one-shot faults fire on exactly the scripted call,
+// persistent faults hold until Heal, and everything else passes through.
+func TestScriptedFaults(t *testing.T) {
+	fs := Wrap(store.NewMem())
+	fs.FailAt(OpJournal, 2, syscall.ENOSPC)
+
+	if err := fs.Journal(rec("a", "queued")); err != nil {
+		t.Fatalf("1st journal: %v, want pass-through", err)
+	}
+	err := fs.Journal(rec("b", "queued"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("2nd journal: %v, want injected ENOSPC", err)
+	}
+	if err := fs.Journal(rec("c", "queued")); err != nil {
+		t.Fatalf("3rd journal: %v, want pass-through again", err)
+	}
+
+	fs.FailAll(OpPutBlob, syscall.EIO)
+	for i := 0; i < 3; i++ {
+		if err := fs.PutBlob("abc", []byte("x")); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("PutBlob under FailAll: %v, want EIO", err)
+		}
+	}
+	fs.Heal()
+	if err := fs.PutBlob("abc", []byte("x")); err != nil {
+		t.Fatalf("PutBlob after Heal: %v", err)
+	}
+	if b, ok, err := fs.GetBlob("abc"); err != nil || !ok || string(b) != "x" {
+		t.Fatalf("GetBlob = %q,%v,%v, want x,true,nil", b, ok, err)
+	}
+
+	// The injected journal failure never reached the inner store: replay
+	// sees records a and c only.
+	recs, err := fs.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "a" || recs[1].ID != "c" {
+		t.Fatalf("Recover = %+v, want a then c", recs)
+	}
+}
+
+// TestOpWriteCounter: OpWrite is the joint Journal+PutBlob counter, so a
+// crash harness can enumerate write points across both.
+func TestOpWriteCounter(t *testing.T) {
+	fs := Wrap(store.NewMem())
+	fs.Journal(rec("a", "queued"))
+	fs.PutBlob("abc", []byte("x"))
+	fs.Journal(rec("a", "done"))
+	if got := fs.Calls(OpWrite); got != 3 {
+		t.Errorf("Calls(OpWrite) = %d, want 3", got)
+	}
+	if got := fs.Calls(OpJournal); got != 2 {
+		t.Errorf("Calls(OpJournal) = %d, want 2", got)
+	}
+}
+
+// TestCrashStop: the scripted write crash-stops the store — OnCrash runs,
+// that call and everything after return ErrCrashed, nothing more reaches
+// the inner store.
+func TestCrashStop(t *testing.T) {
+	inner := store.NewMem()
+	fs := Wrap(inner)
+	var crashedOn Op
+	fs.OnCrash = func(op Op) { crashedOn = op }
+	fs.CrashAt(OpWrite, 2)
+
+	if err := fs.Journal(rec("a", "queued")); err != nil {
+		t.Fatalf("pre-crash journal: %v", err)
+	}
+	if err := fs.PutBlob("abc", []byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point write: %v, want ErrCrashed", err)
+	}
+	if crashedOn != OpPutBlob {
+		t.Errorf("OnCrash saw op %q, want putblob", crashedOn)
+	}
+	if !fs.Crashed() {
+		t.Error("Crashed() = false after crash-stop")
+	}
+	for _, call := range []func() error{
+		func() error { return fs.Journal(rec("b", "queued")) },
+		func() error { return fs.PutBlob("def", nil) },
+		func() error { _, _, err := fs.GetBlob("abc"); return err },
+		func() error { _, err := fs.Recover(); return err },
+		func() error { _, err := fs.Stats(); return err },
+	} {
+		if err := call(); !errors.Is(err, ErrCrashed) {
+			t.Errorf("post-crash operation: %v, want ErrCrashed", err)
+		}
+	}
+	if recs, _ := inner.Recover(); len(recs) != 1 {
+		t.Errorf("inner store saw %d records, want 1 (nothing after the crash)", len(recs))
+	}
+}
+
+// TestFSFaultsAndRecovery: a store.FS under injected ENOSPC keeps its
+// journal replayable; a crash that tears the journal tail and orphans a
+// blob temp file is fully repaired by the next Open (seal, sweep, replay).
+func TestFSFaultsAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	inner, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Wrap(inner)
+	fs.OnCrash = func(Op) {
+		if err := TearJournal(dir); err != nil {
+			t.Errorf("tearing journal: %v", err)
+		}
+		if err := DropOrphan(dir); err != nil {
+			t.Errorf("dropping orphan: %v", err)
+		}
+	}
+	fs.FailAt(OpJournal, 2, syscall.ENOSPC)
+
+	if err := fs.Journal(rec("a", "queued")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Journal(rec("lost", "queued")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected ENOSPC journal: %v", err)
+	}
+	if err := fs.Journal(rec("b", "queued")); err != nil {
+		t.Fatalf("journal after transient ENOSPC: %v", err)
+	}
+	if err := fs.PutBlob("abcdef", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash on the next write, tearing the on-disk state.
+	fs.CrashAt(OpWrite, 1)
+	if err := fs.Journal(rec("b", "done")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v, want ErrCrashed", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next process: Open must seal the torn line, sweep the orphan, and
+	// replay exactly the records that were acknowledged.
+	reopened, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopening crashed dir: %v", err)
+	}
+	defer reopened.Close()
+	recs, err := reopened.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "a" || recs[1].ID != "b" {
+		t.Fatalf("recovered %+v, want a then b (ENOSPC'd and torn records gone)", recs)
+	}
+	for _, r := range recs {
+		if r.State != "queued" {
+			t.Errorf("record %s state %q, want queued (terminal write crashed)", r.ID, r.State)
+		}
+	}
+	if b, ok, err := reopened.GetBlob("abcdef"); err != nil || !ok || string(b) != `{"ok":true}` {
+		t.Fatalf("blob after recovery = %q,%v,%v", b, ok, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Errorf("orphaned temp file %s survived Open's sweep", e.Name())
+		}
+	}
+
+	// Journaling continues cleanly on the sealed log.
+	if err := reopened.Journal(rec("b", "done")); err != nil {
+		t.Fatalf("journal after recovery: %v", err)
+	}
+	if recs, _ := reopened.Recover(); len(recs) != 2 || recs[1].State != "done" {
+		t.Fatalf("post-recovery replay = %+v", recs)
+	}
+}
+
+// TestFSTruncatedBlobNeverValid: a blob truncated (or corrupted) on disk
+// after a clean write is treated as a miss, never served, and the path is
+// freed so PutBlob can rewrite it.
+func TestFSTruncatedBlobNeverValid(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	key := "deadbeefcafe"
+	payload := []byte(`{"report":"full"}`)
+	if err := fs.PutBlob(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blobs", key[:2], key)
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)-4] },
+		"bit-flip":   func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"extended":   func(b []byte) []byte { return append(b, "junk"...) },
+		"no-header":  func(b []byte) []byte { return payload },
+		"empty-file": func(b []byte) []byte { return nil },
+	} {
+		if err := fs.PutBlob(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := fs.GetBlob(key); err != nil || !ok {
+			t.Fatalf("%s: clean blob unreadable: ok=%v err=%v", name, ok, err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(raw), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if b, ok, err := fs.GetBlob(key); err != nil || ok {
+			t.Fatalf("%s blob served as valid: %q ok=%v err=%v", name, b, ok, err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s blob not removed after detection", name)
+		}
+	}
+
+	// The rewrite stores a clean framed blob again.
+	if err := fs.PutBlob(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok, err := fs.GetBlob(key); err != nil || !ok || string(b) != string(payload) {
+		t.Fatalf("rewritten blob = %q,%v,%v", b, ok, err)
+	}
+}

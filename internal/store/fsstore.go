@@ -2,9 +2,11 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -45,6 +47,44 @@ const (
 	blobsDir    = "blobs"
 	tmpPrefix   = "tmp-"
 )
+
+// Blob files are framed so a torn or bit-rotted blob can never be served
+// as a valid result: a magic tag, the CRC32 of the payload and its exact
+// length, then the payload. GetBlob verifies the frame and treats any
+// mismatch — truncation, trailing garbage, a flipped bit, a file that
+// predates the framing — as a miss, removing the file so the content-
+// addressed PutBlob (which no-ops on an existing path) can rewrite it.
+// Atomic rename already keeps crashes from publishing partial blobs; the
+// frame covers everything rename can't: lying disks, torn sector writes
+// under power loss, external truncation.
+const (
+	blobMagic  = "SFBL1\n"
+	blobHdrLen = len(blobMagic) + 4 + 8 // magic + crc32 + payload length
+)
+
+// frameBlob prefixes data with the integrity header.
+func frameBlob(data []byte) []byte {
+	framed := make([]byte, blobHdrLen, blobHdrLen+len(data))
+	copy(framed, blobMagic)
+	binary.BigEndian.PutUint32(framed[len(blobMagic):], crc32.ChecksumIEEE(data))
+	binary.BigEndian.PutUint64(framed[len(blobMagic)+4:], uint64(len(data)))
+	return append(framed, data...)
+}
+
+// unframeBlob verifies the header and returns the payload; ok is false
+// for anything that is not a complete, checksum-clean framed blob.
+func unframeBlob(b []byte) (data []byte, ok bool) {
+	if len(b) < blobHdrLen || string(b[:len(blobMagic)]) != blobMagic {
+		return nil, false
+	}
+	sum := binary.BigEndian.Uint32(b[len(blobMagic):])
+	n := binary.BigEndian.Uint64(b[len(blobMagic)+4:])
+	payload := b[blobHdrLen:]
+	if uint64(len(payload)) != n || crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
 
 // Open opens (creating as needed) a filesystem store rooted at dir.
 func Open(dir string) (*FS, error) {
@@ -222,11 +262,12 @@ func (s *FS) PutBlob(key string, data []byte) error {
 	// Write-to-temp, fsync, rename: the final name only ever points at a
 	// complete blob, and concurrent writers of one key race benignly
 	// (identical content, last rename wins).
+	framed := frameBlob(data)
 	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(data); err == nil {
+	if _, err := tmp.Write(framed); err == nil {
 		err = tmp.Sync()
 	}
 	if err != nil {
@@ -250,7 +291,7 @@ func (s *FS) PutBlob(key string, data []byte) error {
 	}
 	s.mu.Lock()
 	s.blobCount++
-	s.blobB += int64(len(data))
+	s.blobB += int64(len(framed))
 	s.mu.Unlock()
 	return nil
 }
@@ -267,7 +308,21 @@ func (s *FS) GetBlob(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("store: %w", err)
 	}
-	return b, true, nil
+	data, ok := unframeBlob(b)
+	if !ok {
+		// Truncated or corrupted on disk: never serve it as valid. Remove
+		// the file so the miss is self-healing — PutBlob no-ops on an
+		// existing path, so a lingering corrupt file would pin the
+		// corruption forever.
+		if os.Remove(path) == nil {
+			s.mu.Lock()
+			s.blobCount--
+			s.blobB -= int64(len(b))
+			s.mu.Unlock()
+		}
+		return nil, false, nil
+	}
+	return data, true, nil
 }
 
 func (s *FS) Stats() (Stats, error) {

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"streamfetch/internal/par"
+	"streamfetch/internal/retry"
 	"streamfetch/internal/store"
 )
 
@@ -39,7 +41,18 @@ var (
 	ErrQueueFull = errors.New("streamfetch: job queue is full")
 	// ErrStore wraps a journal write that failed at submission time: the
 	// job was not accepted, because an acknowledged job must be durable.
+	// Its persistent form flips the server into degraded mode, after
+	// which submissions are accepted from memory instead (see Health).
 	ErrStore = errors.New("streamfetch: store write failed")
+)
+
+// Job-robustness causes: a job cut down by its execution deadline or by
+// the no-progress watchdog finishes as a terminal failed envelope naming
+// which tripwire fired (distinct from a client cancellation, which
+// finishes as cancelled).
+var (
+	errJobDeadline = errors.New("streamfetch: job deadline exceeded")
+	errJobStalled  = errors.New("streamfetch: job made no progress within the watchdog window")
 )
 
 // GridCell is one (benchmark, layout, engine, width) outcome of RunGrid.
@@ -121,11 +134,22 @@ type RunRequest struct {
 	Warmup          uint64 `json:"warmup,omitempty"`
 	ColdShards      bool   `json:"cold_shards,omitempty"`
 	ICacheLineBytes int    `json:"icache_line_bytes,omitempty"`
+	// TimeoutMS bounds the job's execution time (queue wait excluded):
+	// past it the run aborts and the job finishes failed with its partial
+	// report. 0 defers to the server's -max-job-time cap; a value above
+	// the cap is clamped to it. Execution policy, not result identity —
+	// requests differing only here share one content key, coalesce onto
+	// one job (the first submitter's timeout governs it), and share
+	// cached results.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (r *RunRequest) validate() error {
 	if r.Benchmark == "" {
 		return errors.New("missing benchmark")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMS)
 	}
 	if !slices.Contains(Benchmarks(), r.Benchmark) {
 		return fmt.Errorf("unknown benchmark %q", r.Benchmark)
@@ -196,10 +220,16 @@ type SweepRequest struct {
 	Shards     int    `json:"shards,omitempty"`
 	Warmup     uint64 `json:"warmup,omitempty"`
 	ColdShards bool   `json:"cold_shards,omitempty"`
+	// TimeoutMS bounds the whole sweep's execution time; see
+	// RunRequest.TimeoutMS for the semantics.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // normalize fills defaulted axes and validates every dimension value.
 func (r *SweepRequest) normalize() error {
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMS)
+	}
 	if len(r.Benchmarks) == 0 {
 		r.Benchmarks = Benchmarks()
 	}
@@ -489,8 +519,18 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	run    jobFunc
-	done   chan struct{} // closed on reaching a terminal state
+	// abort cancels ctx with an explanatory cause (deadline, watchdog
+	// stall), so runJob can tell policy cut-downs from client cancels.
+	abort context.CancelCauseFunc
+	run   jobFunc
+	done  chan struct{} // closed on reaching a terminal state
+	// timeout is the job's effective execution budget (request timeout_ms
+	// clamped by the server cap; 0 = unbounded), applied from start, not
+	// enqueue. lastAdvance is the unix-nano time of the last measurable
+	// progress (retired instructions or completed cells; set at start),
+	// read by the watchdog.
+	timeout     time.Duration
+	lastAdvance atomic.Int64
 
 	mu       sync.Mutex
 	state    JobState
@@ -519,11 +559,17 @@ type job struct {
 }
 
 // noteProgress records a session progress callback; sharded callbacks
-// arrive concurrently, one per interval.
+// arrive concurrently, one per interval. Only an advancing retired count
+// feeds the watchdog: the simulator also fires callbacks on a cycle
+// cadence so stalls stay cancellable, and those must not look like
+// progress.
 func (j *job) noteProgress(p Progress) {
 	j.pmu.Lock()
 	if j.shardRet == nil {
 		j.shardRet = map[int]uint64{}
+	}
+	if p.Retired > j.shardRet[p.Shard] {
+		j.lastAdvance.Store(time.Now().UnixNano())
 	}
 	j.shardRet[p.Shard] = p.Retired
 	j.total = p.Total
@@ -535,6 +581,7 @@ func (j *job) noteCell(done, total int) {
 	j.pmu.Lock()
 	if done > j.cellsDone {
 		j.cellsDone = done
+		j.lastAdvance.Store(time.Now().UnixNano())
 	}
 	j.cellsTotal = total
 	j.pmu.Unlock()
@@ -550,6 +597,10 @@ func (j *job) tryStart() bool {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	// Preparation (synthesis, profiling, layouts) precedes the first
+	// progress callback; starting the watchdog clock here keeps it from
+	// counting queue wait against the job.
+	j.lastAdvance.Store(j.started.UnixNano())
 	return true
 }
 
@@ -650,10 +701,31 @@ type jobManager struct {
 	ownStore  bool // close the store at shutdown (we opened it)
 	closeOnce sync.Once
 
+	// Job-robustness policy (see WithMaxJobTime / WithWatchdog) and the
+	// goroutines that enforce it: the watchdog scanning for stalled jobs
+	// and the probe testing a degraded store for recovery. They outlive
+	// the worker pool's WaitGroup on purpose — m.wg is waited before
+	// stopAll during a clean drain, and these loops only exit on stopAll.
+	maxJobTime time.Duration
+	watchdog   time.Duration
+	probeEvery time.Duration
+	auxWG      sync.WaitGroup
+
+	// Degraded mode: flipped by a persistently failing store write, cleared
+	// by any later successful write (including the probe's). While set,
+	// submissions skip the journal and are accepted from memory — explicit
+	// availability-over-durability, surfaced on /healthz.
+	retryPolicy    retry.Policy
+	degraded       atomic.Bool
+	dmu            sync.Mutex // guards lastStoreErr/lastStoreErrAt
+	lastStoreErr   error
+	lastStoreErrAt time.Time
+
 	hits      atomic.Int64 // submissions answered from the result cache
 	misses    atomic.Int64 // submissions that enqueued a simulation
 	coalesced atomic.Int64 // submissions folded into an in-flight twin
-	storeErrs atomic.Int64 // post-acceptance journal/blob write failures
+	storeErrs atomic.Int64 // store writes that failed after retries
+	retries   atomic.Int64 // individual store-write retry attempts
 
 	// runHook, when set, observes each job body that actually executes a
 	// simulation (test seam for coalescing/caching assertions: coalesced
@@ -688,18 +760,26 @@ func newJobManager(cfg serverConfig, st store.Store, ownStore bool) (*jobManager
 			pending++
 		}
 	}
+	probeEvery := cfg.probeEvery
+	if probeEvery <= 0 {
+		probeEvery = 2 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
-		workers:  workers,
-		retain:   retain,
-		baseCtx:  ctx,
-		stopAll:  cancel,
-		queue:    make(chan *job, max(queueDepth, pending)),
-		slotFree: make(chan struct{}, 1),
-		jobs:     map[string]*job{},
-		inflight: map[string]*job{},
-		store:    st,
-		ownStore: ownStore,
+		workers:     workers,
+		retain:      retain,
+		baseCtx:     ctx,
+		stopAll:     cancel,
+		queue:       make(chan *job, max(queueDepth, pending)),
+		slotFree:    make(chan struct{}, 1),
+		jobs:        map[string]*job{},
+		inflight:    map[string]*job{},
+		store:       st,
+		ownStore:    ownStore,
+		maxJobTime:  cfg.maxJobTime,
+		watchdog:    cfg.watchdog,
+		probeEvery:  probeEvery,
+		retryPolicy: retry.Default(),
 	}
 	m.sessions.cap = cfg.sessionCap
 	for _, rec := range recs {
@@ -708,6 +788,12 @@ func newJobManager(cfg serverConfig, st store.Store, ownStore bool) (*jobManager
 	m.trimDoneLocked() // recovered terminal jobs count against retention
 	m.wg.Add(1)
 	go m.dispatch()
+	m.auxWG.Add(1)
+	go m.probeLoop()
+	if m.watchdog > 0 {
+		m.auxWG.Add(1)
+		go m.watchdogLoop()
+	}
 	return m, nil
 }
 
@@ -772,7 +858,7 @@ func (m *jobManager) restore(rec store.JournalRecord) {
 			build = m.sweepJobFunc(req)
 		}
 	}
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	ctx, abort := context.WithCancelCause(m.baseCtx)
 	j := &job{
 		id:       rec.ID,
 		kind:     rec.Kind,
@@ -781,14 +867,15 @@ func (m *jobManager) restore(rec store.JournalRecord) {
 		state:    JobQueued,
 		enqueued: rec.Time,
 		ctx:      ctx,
-		cancel:   cancel,
+		cancel:   func() { abort(context.Canceled) },
+		abort:    abort,
 		done:     make(chan struct{}),
 	}
 	if build == nil {
 		// The journaled request no longer parses or validates (schema
 		// drift, disk corruption inside an intact line): surface a failed
 		// terminal job rather than dropping the id.
-		cancel()
+		j.cancel()
 		j.state = JobFailed
 		j.finished = time.Now()
 		j.err = errors.New("streamfetch: journaled request is not recoverable")
@@ -846,6 +933,36 @@ func (m *jobManager) cachedJob(id, kind, key string, blob []byte) *job {
 	return j
 }
 
+// storeWrite runs one store write under the retry policy: transient
+// failures back off and retry, exhausting the policy counts a store
+// error and flips the server degraded, and any success — a later job's
+// write or the probe's — clears degraded mode again.
+func (m *jobManager) storeWrite(fn func() error) error {
+	err := retry.Do(m.baseCtx, m.retryPolicy, fn, func(error) { m.retries.Add(1) })
+	if err != nil {
+		m.storeErrs.Add(1)
+		m.dmu.Lock()
+		m.lastStoreErr, m.lastStoreErrAt = err, time.Now()
+		m.dmu.Unlock()
+		m.degraded.Store(true)
+		return err
+	}
+	m.degraded.Store(false)
+	return nil
+}
+
+// storeHealth snapshots the degraded-mode surface for /healthz. The last
+// error stays visible after recovery — it says what went wrong, degraded
+// says whether it still is.
+func (m *jobManager) storeHealth() (degraded bool, lastErr string, lastAt time.Time) {
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	if m.lastStoreErr != nil {
+		lastErr = m.lastStoreErr.Error()
+	}
+	return m.degraded.Load(), lastErr, m.lastStoreErrAt
+}
+
 // journal appends one record for the job's current state, counting (not
 // failing on) write errors: past acceptance, a degraded store must not
 // take down serving. Terminal records carry the envelope, non-terminal
@@ -868,9 +985,7 @@ func (m *jobManager) journal(j *job, state JobState) {
 	} else {
 		rec.Request = j.reqJSON
 	}
-	if err := m.store.Journal(rec); err != nil {
-		m.storeErrs.Add(1)
-	}
+	m.storeWrite(func() error { return m.store.Journal(rec) })
 }
 
 // submit accepts one job: answered from the result cache (terminal
@@ -913,7 +1028,7 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 		}
 	}
 
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	ctx, abort := context.WithCancelCause(m.baseCtx)
 	j := &job{
 		id:       id,
 		kind:     kind,
@@ -922,7 +1037,8 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 		state:    JobQueued,
 		enqueued: time.Now(),
 		ctx:      ctx,
-		cancel:   cancel,
+		cancel:   func() { abort(context.Canceled) },
+		abort:    abort,
 		done:     make(chan struct{}),
 	}
 	j.run = build(j)
@@ -931,16 +1047,25 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 	// journaling keeps rejected submissions out of the journal — a
 	// journaled job is a promise to run it.
 	if len(m.queue) >= cap(m.queue) {
-		cancel()
+		j.cancel()
 		return nil, ErrQueueFull
 	}
-	if err := m.store.Journal(store.JournalRecord{
-		ID: id, Kind: kind, Key: key, State: string(JobQueued),
-		Time: j.enqueued, Request: reqJSON,
+	if m.degraded.Load() {
+		// Degraded mode, already declared on /healthz: accept from memory
+		// without the journal write that would fail anyway. Availability
+		// over durability — the job will not survive a restart. The probe
+		// (and every later store write) keeps testing for recovery.
+	} else if err := m.storeWrite(func() error {
+		return m.store.Journal(store.JournalRecord{
+			ID: id, Kind: kind, Key: key, State: string(JobQueued),
+			Time: j.enqueued, Request: reqJSON,
+		})
 	}); err != nil {
 		// The 202 is a durability promise; without the journal record the
-		// job would silently vanish in a crash. Refuse instead.
-		cancel()
+		// job would silently vanish in a crash. Refuse this one — the
+		// failure flipped the server degraded, so the next submission is
+		// accepted memory-only under the declared policy.
+		j.cancel()
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	m.queue <- j
@@ -952,9 +1077,20 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 	return j, nil
 }
 
+// effTimeout resolves a request's timeout_ms against the server cap: the
+// tighter of the two wins; 0 means unbounded.
+func (m *jobManager) effTimeout(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if m.maxJobTime > 0 && (d == 0 || d > m.maxJobTime) {
+		d = m.maxJobTime
+	}
+	return d
+}
+
 // runJobFunc builds the executable body of a single-configuration run.
 func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
 	return func(j *job) jobFunc {
+		j.timeout = m.effTimeout(req.TimeoutMS)
 		return func(ctx context.Context) (*Report, []GridCell, error) {
 			if h := m.runHook; h != nil {
 				h("run")
@@ -973,6 +1109,7 @@ func (m *jobManager) sweepJobFunc(req SweepRequest) func(*job) jobFunc {
 	total := len(req.Benchmarks) * len(req.Layouts) * len(req.Engines) * len(req.Widths)
 	return func(j *job) jobFunc {
 		j.cellsTotal = total
+		j.timeout = m.effTimeout(req.TimeoutMS)
 		return func(ctx context.Context) (*Report, []GridCell, error) {
 			if h := m.runHook; h != nil {
 				h("sweep")
@@ -1106,9 +1243,9 @@ func (m *jobManager) persist(j *job) {
 			blob, err = json.MarshalIndent(cells, "", "  ")
 		}
 		if err == nil && blob != nil {
-			err = m.store.PutBlob(j.key, append(blob, '\n'))
-		}
-		if err != nil {
+			payload := append(blob, '\n')
+			m.storeWrite(func() error { return m.store.PutBlob(j.key, payload) })
+		} else if err != nil {
 			m.storeErrs.Add(1)
 		}
 	}
@@ -1188,24 +1325,117 @@ func (m *jobManager) place(j *job) {
 	}
 }
 
-// runJob executes one job and records its terminal state. A cancelled
-// run may still carry a partial report (Aborted set), which is preserved.
+// runJob executes one job and records its terminal state. A cancelled or
+// cut-down run may still carry a partial report (Aborted set), which is
+// preserved. The body runs behind a recover barrier: an engine panic
+// fails that job — stack in its envelope — without taking the daemon
+// down.
 func (m *jobManager) runJob(j *job) {
 	defer j.cancel()
 	if !j.tryStart() {
 		return // cancelled while queued
 	}
-	rep, cells, err := j.run(j.ctx)
+	runCtx := j.ctx
+	if j.timeout > 0 {
+		var stop context.CancelFunc
+		runCtx, stop = context.WithTimeoutCause(j.ctx, j.timeout, errJobDeadline)
+		defer stop()
+	}
+	rep, cells, err := m.guardedRun(j, runCtx)
 	switch {
 	case err == nil:
 		j.finish(JobDone, rep, cells, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.finish(JobCancelled, rep, cells, err)
+		// The context ended the run; its cause says who pulled the plug.
+		// Policy cut-downs — the execution deadline, the no-progress
+		// watchdog — are failures carrying the partial aborted report; a
+		// plain cancellation is the client's (or shutdown's) own doing.
+		cause := context.Cause(runCtx)
+		switch {
+		case errors.Is(cause, errJobDeadline):
+			j.finish(JobFailed, rep, cells, fmt.Errorf("%w (%s)", errJobDeadline, j.timeout))
+		case errors.Is(cause, errJobStalled):
+			j.finish(JobFailed, rep, cells, cause)
+		default:
+			j.finish(JobCancelled, rep, cells, err)
+		}
 	default:
 		j.finish(JobFailed, rep, cells, err)
 	}
 	m.persist(j)
 	m.retire(j)
+}
+
+// guardedRun invokes the job body, converting a panic on this goroutine
+// into an error carrying the stack. Panics on shard and sweep-cell worker
+// goroutines are converted the same way inside internal/par, so every
+// execution path of a job is covered.
+func (m *jobManager) guardedRun(j *job, ctx context.Context) (rep *Report, cells []GridCell, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("streamfetch: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return j.run(ctx)
+}
+
+// watchdogLoop cancels running jobs that report no measurable progress —
+// no retired instructions, no completed sweep cells — for a full window:
+// a wedged engine or pathological configuration fails fast instead of
+// occupying a worker until (or past) any deadline.
+func (m *jobManager) watchdogLoop() {
+	defer m.auxWG.Done()
+	tick := max(m.watchdog/4, 10*time.Millisecond)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-m.watchdog).UnixNano()
+		m.mu.Lock()
+		var stalled []*job
+		for _, j := range m.jobs {
+			j.mu.Lock()
+			running := j.state == JobRunning
+			j.mu.Unlock()
+			if running && j.lastAdvance.Load() < cutoff {
+				stalled = append(stalled, j)
+			}
+		}
+		m.mu.Unlock()
+		for _, j := range stalled {
+			j.abort(errJobStalled)
+		}
+	}
+}
+
+// probeLoop tests a degraded store for recovery: while degraded it
+// periodically journals a probe record, and the first success (via
+// storeWrite) flips the server healthy again. The probe record is
+// terminal with no envelope, so restarts replay it as noise.
+func (m *jobManager) probeLoop() {
+	defer m.auxWG.Done()
+	t := time.NewTicker(m.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		if !m.degraded.Load() {
+			continue
+		}
+		m.storeWrite(func() error {
+			return m.store.Journal(store.JournalRecord{
+				ID: "store-probe", Kind: "probe",
+				State: string(JobDone), Time: time.Now(),
+			})
+		})
+	}
 }
 
 // shutdown drains: no new submissions, queued and running jobs complete,
@@ -1233,6 +1463,9 @@ func (m *jobManager) shutdown(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	// stopAll also releases the probe and watchdog loops, which outlive
+	// the worker pool by design; wait for them before touching the store.
+	m.auxWG.Wait()
 	// Workers have unwound: nothing journals or reads blobs anymore, so a
 	// store we opened can close (one installed via WithStore belongs to
 	// the caller).

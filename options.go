@@ -2,6 +2,7 @@ package streamfetch
 
 import (
 	"fmt"
+	"time"
 
 	"streamfetch/internal/store"
 	"streamfetch/internal/trace"
@@ -148,6 +149,9 @@ type serverConfig struct {
 	sessionCap int
 	store      store.Store
 	storeDir   string
+	maxJobTime time.Duration
+	watchdog   time.Duration
+	probeEvery time.Duration
 	err        error // first invalid option, surfaced by NewServer
 }
 
@@ -199,6 +203,53 @@ func WithSessionCacheSize(n int) ServerOption {
 // or the default in-memory store instead.
 func WithStore(st store.Store) ServerOption {
 	return func(c *serverConfig) { c.store = st }
+}
+
+// WithMaxJobTime caps every job's execution time (queue wait excluded):
+// a job still running after d is cut down and finishes as a terminal
+// failed envelope carrying its partial, aborted report. A per-request
+// timeout_ms below the cap tightens it for that job; one above it is
+// clamped. 0 (the default) leaves execution time unbounded.
+func WithMaxJobTime(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("streamfetch: max job time must be non-negative, got %s", d)
+			return
+		}
+		c.maxJobTime = d
+	}
+}
+
+// WithWatchdog cancels any running job that makes no measurable progress
+// — no retired instructions, no completed sweep cells — for d: the job
+// finishes as a terminal failed envelope naming the stall. This is the
+// backstop for a wedged engine or a pathological configuration that a
+// deadline alone would let occupy a worker until it fires. 0 (the
+// default) disables the watchdog. Note that session preparation
+// (synthesis, profiling, layouts) reports no progress, so d must comfortably
+// exceed the longest expected preparation.
+func WithWatchdog(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d < 0 {
+			c.err = fmt.Errorf("streamfetch: watchdog window must be non-negative, got %s", d)
+			return
+		}
+		c.watchdog = d
+	}
+}
+
+// WithStoreProbeInterval sets how often a degraded server probes the
+// store with a test write to detect recovery (default 2s). A successful
+// probe flips the server out of degraded mode; the interval bounds how
+// stale that detection can be. Must be positive.
+func WithStoreProbeInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) {
+		if d <= 0 {
+			c.err = fmt.Errorf("streamfetch: store probe interval must be positive, got %s", d)
+			return
+		}
+		c.probeEvery = d
+	}
 }
 
 // WithStoreDir persists jobs and results under dir using the crash-safe

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"time"
 
 	"streamfetch/internal/par"
 	"streamfetch/internal/store"
@@ -169,8 +170,9 @@ type Health struct {
 	// jobs not yet terminal (what a restart would re-enqueue),
 	// StoreBlobs/StoreBytes the cached results and the store's total
 	// footprint on disk (or in memory for the "mem" backend).
-	// StoreErrors counts journal/blob writes that failed after the job
-	// was accepted; serving continues, durability is degraded.
+	// StoreErrors counts store writes that failed after exhausting the
+	// retry policy, StoreRetries the individual retry attempts behind
+	// them; serving continues, durability is degraded.
 	Store             string `json:"store"`
 	StoreHits         int64  `json:"store_hits"`
 	StoreMisses       int64  `json:"store_misses"`
@@ -179,6 +181,18 @@ type Health struct {
 	StoreBlobs        int    `json:"store_blobs"`
 	StoreBytes        int64  `json:"store_bytes"`
 	StoreErrors       int64  `json:"store_errors,omitempty"`
+	StoreRetries      int64  `json:"store_retries,omitempty"`
+
+	// Degraded mode: StoreDegraded reports that store writes are
+	// persistently failing and the server has fallen back to memory-only
+	// acceptance — submissions succeed but do not survive a restart, and
+	// a background probe keeps testing the store until a write lands.
+	// StoreLastError/StoreLastErrorTime describe the most recent failure
+	// (kept after recovery as forensics; StoreDegraded says whether it is
+	// still happening).
+	StoreDegraded      bool      `json:"store_degraded,omitempty"`
+	StoreLastError     string    `json:"store_last_error,omitempty"`
+	StoreLastErrorTime time.Time `json:"store_last_error_time,omitzero"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -199,26 +213,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if statsErr != nil {
 		errs++
 	}
-	writeJSON(w, http.StatusOK, Health{
-		Status:            status,
-		QueueDepth:        depth,
-		QueueCap:          capQ,
-		Workers:           m.workers,
-		JobsQueued:        queued,
-		JobsRunning:       running,
-		JobsFinished:      finished,
-		Sessions:          m.sessions.size(),
-		SessionCap:        m.sessions.capacity(),
-		ParInUse:          par.InUse(),
-		ParBudget:         par.Budget(),
-		Store:             m.store.Name(),
-		StoreHits:         m.hits.Load(),
-		StoreMisses:       m.misses.Load(),
-		StoreCoalesced:    m.coalesced.Load(),
-		StoreJournalDepth: stats.JournalDepth,
-		StoreBlobs:        stats.Blobs,
-		StoreBytes:        stats.Bytes,
-		StoreErrors:       errs,
+	degraded, lastErr, lastErrAt := m.storeHealth()
+	// Only saturation fails the probe: a full queue means new work has
+	// nowhere to go, so load balancers should back off. A degraded store
+	// is reported but keeps the 200 — the server is still serving.
+	code := http.StatusOK
+	if depth >= capQ {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, Health{
+		Status:             status,
+		QueueDepth:         depth,
+		QueueCap:           capQ,
+		Workers:            m.workers,
+		JobsQueued:         queued,
+		JobsRunning:        running,
+		JobsFinished:       finished,
+		Sessions:           m.sessions.size(),
+		SessionCap:         m.sessions.capacity(),
+		ParInUse:           par.InUse(),
+		ParBudget:          par.Budget(),
+		Store:              m.store.Name(),
+		StoreHits:          m.hits.Load(),
+		StoreMisses:        m.misses.Load(),
+		StoreCoalesced:     m.coalesced.Load(),
+		StoreJournalDepth:  stats.JournalDepth,
+		StoreBlobs:         stats.Blobs,
+		StoreBytes:         stats.Bytes,
+		StoreErrors:        errs,
+		StoreRetries:       m.retries.Load(),
+		StoreDegraded:      degraded,
+		StoreLastError:     lastErr,
+		StoreLastErrorTime: lastErrAt,
 	})
 }
 
