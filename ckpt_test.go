@@ -1,0 +1,330 @@
+package streamfetch_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"streamfetch"
+	"streamfetch/internal/store"
+)
+
+// ckptSession is the shared configuration for checkpoint differentials:
+// sharded and warmed, so every mid-trace shard has both a functional-
+// warming prefix (the checkpointable part) and a timed lead-in.
+func ckptSession(engine string) *streamfetch.Session {
+	return streamfetch.New("164.gzip",
+		streamfetch.WithEngine(engine),
+		streamfetch.WithInstructions(300_000),
+		streamfetch.WithShards(3),
+		streamfetch.WithWarmup(30_000),
+	)
+}
+
+// stripCkpt clears the checkpoint outcome counters, the only report
+// fields allowed to differ between a functionally warmed run and a
+// checkpoint-restored one.
+func stripCkpt(rep *streamfetch.Report) *streamfetch.Report {
+	c := *rep
+	c.CheckpointHits, c.CheckpointMisses = 0, 0
+	return &c
+}
+
+func sameReport(t *testing.T, label string, got, want *streamfetch.Report) {
+	t.Helper()
+	if g, w := reportJSON(t, got), reportJSON(t, want); !bytes.Equal(g, w) {
+		t.Errorf("%s diverged\ngot:\n%s\nwant:\n%s", label, g, w)
+	}
+}
+
+// TestCheckpointRestoreDifferential is the core contract, per engine:
+// (1) running with a cold checkpoint store changes nothing about the
+// simulation (byte-identical to a run without checkpoints) and records
+// one miss per mid-trace shard; (2) re-running against the now-warm
+// store restores every boundary (one hit per mid-trace shard, zero
+// misses) and still produces byte-identical simulation counters — the
+// O(prefix) replay is gone, the physics is not.
+func TestCheckpointRestoreDifferential(t *testing.T) {
+	ctx := context.Background()
+	// benchEngines, not Engines: the chaos tests runtime-register
+	// deliberately stalling/panicking engines that must not be swept
+	// into the differential when the whole package runs.
+	for _, engine := range benchEngines() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			t.Parallel()
+			s := ckptSession(engine)
+			plain, err := s.Run(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.CheckpointHits != 0 || plain.CheckpointMisses != 0 {
+				t.Fatalf("checkpoint counters on a checkpoint-free run: %d/%d",
+					plain.CheckpointHits, plain.CheckpointMisses)
+			}
+
+			st := store.NewMem()
+			cold, err := s.RunWith(ctx, streamfetch.WithCheckpoints(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.CheckpointHits != 0 || cold.CheckpointMisses != 2 {
+				t.Fatalf("cold run counters hits=%d misses=%d, want 0/2",
+					cold.CheckpointHits, cold.CheckpointMisses)
+			}
+			sameReport(t, "cold checkpointed run vs plain", stripCkpt(cold), plain)
+
+			warm, err := s.RunWith(ctx, streamfetch.WithCheckpoints(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.CheckpointHits != 2 || warm.CheckpointMisses != 0 {
+				t.Fatalf("warm run counters hits=%d misses=%d, want 2/0",
+					warm.CheckpointHits, warm.CheckpointMisses)
+			}
+			sameReport(t, "restored run vs plain", stripCkpt(warm), plain)
+		})
+	}
+}
+
+// mangleStore corrupts every blob it serves, exercising the
+// torn-checkpoint path end to end.
+type mangleStore struct {
+	store.Store
+	mangle func([]byte) []byte
+}
+
+func (m *mangleStore) GetBlob(key string) ([]byte, bool, error) {
+	b, ok, err := m.Store.GetBlob(key)
+	if ok && err == nil {
+		b = m.mangle(append([]byte(nil), b...))
+	}
+	return b, ok, err
+}
+
+// TestCheckpointCorruptBlobCleanMiss: corrupt and truncated snapshots
+// are clean misses — the run falls back to functional warming, produces
+// the exact plain-run report, and never errors or panics.
+func TestCheckpointCorruptBlobCleanMiss(t *testing.T) {
+	ctx := context.Background()
+	s := ckptSession("streams")
+	plain, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangles := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/3] },
+		"flipped":   func(b []byte) []byte { b[len(b)/2] ^= 0xff; return b },
+		"emptied":   func(b []byte) []byte { return nil },
+	}
+	for name, fn := range mangles {
+		t.Run(name, func(t *testing.T) {
+			st := &mangleStore{Store: store.NewMem(), mangle: fn}
+			// First run populates; the blobs are mangled only on read.
+			if _, err := s.RunWith(ctx, streamfetch.WithCheckpoints(st)); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.RunWith(ctx, streamfetch.WithCheckpoints(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.CheckpointHits != 0 || rep.CheckpointMisses != 2 {
+				t.Fatalf("%s blobs: hits=%d misses=%d, want clean misses 0/2",
+					name, rep.CheckpointHits, rep.CheckpointMisses)
+			}
+			sameReport(t, "run over "+name+" blobs vs plain", stripCkpt(rep), plain)
+		})
+	}
+}
+
+// TestCheckpointKeyInvalidation: checkpoints never leak across
+// preparation inputs — a different seed, engine or width misses cleanly
+// on a store populated by another configuration.
+func TestCheckpointKeyInvalidation(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	if _, err := ckptSession("streams").RunWith(ctx, streamfetch.WithCheckpoints(st)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []streamfetch.Option
+	}{
+		{"seed", []streamfetch.Option{streamfetch.WithSeed(123)}},
+		{"engine", []streamfetch.Option{streamfetch.WithEngine("ev8")}},
+		{"width", []streamfetch.Option{streamfetch.WithWidth(4)}},
+		{"layout", []streamfetch.Option{streamfetch.WithOptimizedLayout()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := append([]streamfetch.Option{streamfetch.WithCheckpoints(st)}, tc.opts...)
+			rep, err := ckptSession("streams").RunWith(ctx, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.CheckpointHits != 0 {
+				t.Fatalf("changed %s yet restored %d checkpoints from the old store",
+					tc.name, rep.CheckpointHits)
+			}
+			if rep.CheckpointMisses == 0 {
+				t.Fatalf("changed %s ran without checkpointing at all", tc.name)
+			}
+		})
+	}
+	// Same configuration still hits: the invalidation above is keying,
+	// not a broken store.
+	rep, err := ckptSession("streams").RunWith(ctx, streamfetch.WithCheckpoints(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointHits != 2 {
+		t.Fatalf("identical configuration hit %d of 2 checkpoints", rep.CheckpointHits)
+	}
+}
+
+// TestCheckpointInapplicable: configurations with no stable trace
+// identity or no warmable prefix run checkpoint-free even with a store
+// installed.
+func TestCheckpointInapplicable(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+
+	// In-memory trace: no stable identity.
+	gen := streamfetch.New("164.gzip", streamfetch.WithInstructions(100_000))
+	tr, err := gen.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := streamfetch.New("164.gzip",
+		streamfetch.WithTrace(tr),
+		streamfetch.WithShards(2),
+		streamfetch.WithWarmup(10_000),
+		streamfetch.WithCheckpoints(st),
+	).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointHits != 0 || rep.CheckpointMisses != 0 {
+		t.Fatalf("in-memory trace checkpointed: hits=%d misses=%d",
+			rep.CheckpointHits, rep.CheckpointMisses)
+	}
+
+	// Cold shards: the prefix is skipped, nothing to capture.
+	rep, err = streamfetch.New("164.gzip",
+		streamfetch.WithInstructions(100_000),
+		streamfetch.WithShards(2),
+		streamfetch.WithWarmup(10_000),
+		streamfetch.WithColdShards(),
+		streamfetch.WithCheckpoints(st),
+	).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointHits != 0 || rep.CheckpointMisses != 0 {
+		t.Fatalf("cold shards checkpointed: hits=%d misses=%d",
+			rep.CheckpointHits, rep.CheckpointMisses)
+	}
+}
+
+// TestSampledIPCWithinCI: on the golden 2M-instruction configuration,
+// the sampled IPC estimate lands within its own reported 95% confidence
+// interval of the full run's IPC, and the report carries the sampling
+// fields.
+func TestSampledIPCWithinCI(t *testing.T) {
+	ctx := context.Background()
+	s := streamfetch.New("164.gzip") // golden defaults: streams/base/w8/2M
+	full, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.RunWith(ctx,
+		streamfetch.WithSampling(10, 50_000),
+		streamfetch.WithWarmup(20_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Samples != 10 || sampled.SampleInsts != 50_000 {
+		t.Fatalf("sampling fields samples=%d sample_insts=%d",
+			sampled.Samples, sampled.SampleInsts)
+	}
+	if sampled.IPCCI95 <= 0 {
+		t.Fatalf("sampled run reports no confidence interval (ipc_ci95=%g)", sampled.IPCCI95)
+	}
+	if len(sampled.Intervals) != 10 {
+		t.Fatalf("sampled run reports %d interval rows, want 10", len(sampled.Intervals))
+	}
+	if sampled.TraceInsts >= full.TraceInsts/2 {
+		t.Fatalf("sampled coverage %d of %d: windows cover too much to be a sample",
+			sampled.TraceInsts, full.TraceInsts)
+	}
+	if diff := math.Abs(sampled.IPC - full.IPC); diff > sampled.IPCCI95 {
+		t.Fatalf("sampled IPC %.4f vs full %.4f: off by %.4f, beyond the stated CI %.4f",
+			sampled.IPC, full.IPC, diff, sampled.IPCCI95)
+	}
+}
+
+// TestSampledWithCheckpoints: sampled windows restore from checkpoints
+// like shards do — the second run hits every window boundary and the
+// merged report matches the first byte for byte outside the checkpoint
+// counters.
+func TestSampledWithCheckpoints(t *testing.T) {
+	ctx := context.Background()
+	st := store.NewMem()
+	s := streamfetch.New("164.gzip", streamfetch.WithInstructions(400_000))
+	opts := []streamfetch.Option{
+		streamfetch.WithSampling(4, 20_000),
+		streamfetch.WithWarmup(10_000),
+		streamfetch.WithCheckpoints(st),
+	}
+	first, err := s.RunWith(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CheckpointMisses != 4 || first.CheckpointHits != 0 {
+		t.Fatalf("first sampled run hits=%d misses=%d, want 0/4",
+			first.CheckpointHits, first.CheckpointMisses)
+	}
+	second, err := s.RunWith(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CheckpointHits != 4 || second.CheckpointMisses != 0 {
+		t.Fatalf("second sampled run hits=%d misses=%d, want 4/0",
+			second.CheckpointHits, second.CheckpointMisses)
+	}
+	sameReport(t, "restored sampled run vs first", stripCkpt(second), stripCkpt(first))
+}
+
+// TestSampledDegenerate: a window at least as long as the trace
+// degenerates to one full interval — the estimate is exact, the CI
+// zero.
+func TestSampledDegenerate(t *testing.T) {
+	ctx := context.Background()
+	s := streamfetch.New("164.gzip", streamfetch.WithInstructions(100_000))
+	full, err := s.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunWith(ctx, streamfetch.WithSampling(5, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 1 || rep.IPCCI95 != 0 {
+		t.Fatalf("degenerate sampling samples=%d ci=%g, want 1 and 0", rep.Samples, rep.IPCCI95)
+	}
+	if rep.Retired != full.Retired || rep.Cycles != full.Cycles {
+		t.Fatalf("degenerate sample (retired %d, cycles %d) differs from full (%d, %d)",
+			rep.Retired, rep.Cycles, full.Retired, full.Cycles)
+	}
+}
+
+// TestSampledValidation: sampling without a window length is rejected.
+func TestSampledValidation(t *testing.T) {
+	_, err := streamfetch.New("164.gzip").RunWith(context.Background(),
+		streamfetch.WithSampling(4, 0))
+	if err == nil {
+		t.Fatal("sampling with zero window length accepted")
+	}
+}

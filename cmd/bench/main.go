@@ -15,9 +15,12 @@
 //
 // plus the shard-scaling series (sim-insts/s for one logical run at
 // shards in {1, 2, 4} over -shardinsts instructions, with wall-clock
-// speedup relative to shards=1 and the host's core count) and, unless
-// -figures=false, the Figure-8 cell: harmonic-mean IPC per engine across
-// the benchmark subset on the optimized layout.
+// speedup relative to shards=1 and the host's core count), the
+// checkpoint before/after measurement (unless -ckpt=false: single-shot
+// vs cold-store vs warm-store sharded wall-clock plus a sampled run;
+// see measureCkpt) and, unless -figures=false, the Figure-8 cell:
+// harmonic-mean IPC per engine across the benchmark subset on the
+// optimized layout.
 //
 // With -cpuprofile/-memprofile the measurement phase is captured into
 // pprof profiles (the CPU profile spans every measurement; the heap
@@ -29,7 +32,7 @@
 //
 //	go run ./cmd/bench [-o BENCH_streamfetch.json] [-label <name>]
 //	    [-insts 300000] [-benchmark 164.gzip] [-width 8]
-//	    [-set 164.gzip,176.gcc,300.twolf] [-figures=true]
+//	    [-set 164.gzip,176.gcc,300.twolf] [-figures=true] [-ckpt=true]
 //	    [-shardinsts 4000000] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -48,6 +51,7 @@ import (
 	"streamfetch"
 	"streamfetch/internal/experiments"
 	"streamfetch/internal/sim"
+	"streamfetch/internal/store"
 )
 
 // EnginePoint is one engine's measurements at a trajectory point.
@@ -73,6 +77,45 @@ type ShardPoint struct {
 	IPC     float64 `json:"ipc"`
 }
 
+// CkptPoint is the checkpoint-mode measurement: the same logical run
+// timed three ways — single-shot, sharded against an empty checkpoint
+// store (every shard functionally warms its prefix and publishes a
+// snapshot), and sharded again against the now-populated store (every
+// shard restores in O(state)) — plus one sampled run riding the same
+// warm snapshots. The warm/cold ratio is the O(shards × prefix)
+// warming term the checkpoints remove; the hit/miss counts prove which
+// path each run actually took.
+type CkptPoint struct {
+	Shards int    `json:"shards"`
+	Warmup uint64 `json:"warmup"`
+
+	SingleSecs float64 `json:"single_secs"`
+	ColdSecs   float64 `json:"cold_secs"`
+	WarmSecs   float64 `json:"warm_secs"`
+
+	ColdMisses uint64 `json:"cold_misses"`
+	WarmHits   uint64 `json:"warm_hits"`
+
+	// SpeedupVsCold/SpeedupVsSingle are warm-run wall-clock ratios
+	// (>1 means the checkpointed run is faster).
+	SpeedupVsCold   float64 `json:"speedup_vs_cold"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+
+	FullIPC float64 `json:"full_ipc"`
+	WarmIPC float64 `json:"warm_ipc"`
+
+	// Sampled run: Samples windows of SampleInsts each, restored from
+	// the snapshots the warm shard run left behind where boundaries
+	// line up, functionally warmed otherwise.
+	Samples       int     `json:"samples"`
+	SampleInsts   uint64  `json:"sample_insts"`
+	SampledSecs   float64 `json:"sampled_secs"`
+	SampledIPC    float64 `json:"sampled_ipc"`
+	SampledCI95   float64 `json:"sampled_ipc_ci95"`
+	SampledHits   uint64  `json:"sampled_hits"`
+	SampledMisses uint64  `json:"sampled_misses"`
+}
+
 // Point is one trajectory point: everything measured by one bench run.
 type Point struct {
 	Label     string                 `json:"label,omitempty"`
@@ -94,6 +137,9 @@ type Point struct {
 	// harmonic-mean IPC per engine across the benchmark set, optimized
 	// layout.
 	Fig8HarmonicIPC map[string]float64 `json:"fig8_harmonic_ipc,omitempty"`
+	// Ckpt is the checkpoint before/after measurement over ShardInsts
+	// instructions; see -ckpt.
+	Ckpt *CkptPoint `json:"ckpt,omitempty"`
 }
 
 // File is the trajectory file: an append-only series of points.
@@ -115,12 +161,14 @@ func main() {
 		figures    = flag.Bool("figures", true, "also run the Figure-8 harmonic-IPC sweep")
 		shardInsts = flag.Uint64("shardinsts", 4_000_000,
 			"trace length for the shard-scaling measurement (0 = skip)")
+		ckpt = flag.Bool("ckpt", true,
+			"measure warm-state checkpoints: single-shot vs cold vs checkpointed 4-shard wall-clock over -shardinsts, plus a sampled run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measurements to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if err := withProfiles(*cpuProfile, *memProfile, func() error {
-		return run(*out, *label, *insts, *benchmark, *width, *set, *figures, *shardInsts)
+		return run(*out, *label, *insts, *benchmark, *width, *set, *figures, *shardInsts, *ckpt)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -159,7 +207,7 @@ func withProfiles(cpuPath, memPath string, f func() error) error {
 	return nil
 }
 
-func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool, shardInsts uint64) error {
+func run(out, label string, insts uint64, benchmark string, width int, set string, figures bool, shardInsts uint64, ckpt bool) error {
 	ctx := context.Background()
 	pt := Point{
 		Label:     label,
@@ -195,6 +243,20 @@ func run(out, label string, insts uint64, benchmark string, width int, set strin
 			fmt.Printf("shards=%d %11.0f sim-insts/s  speedup %.2fx  IPC=%.3f\n",
 				p.Shards, p.SimInstsPerSec, p.Speedup, p.IPC)
 		}
+	}
+
+	if ckpt && shardInsts > 0 {
+		cp, err := measureCkpt(ctx, benchmark, width, shardInsts)
+		if err != nil {
+			return err
+		}
+		pt.Ckpt = cp
+		fmt.Printf("ckpt single %6.2fs  cold %6.2fs (%d misses)  warm %6.2fs (%d hits)  speedup %.2fx vs cold, %.2fx vs single\n",
+			cp.SingleSecs, cp.ColdSecs, cp.ColdMisses, cp.WarmSecs, cp.WarmHits,
+			cp.SpeedupVsCold, cp.SpeedupVsSingle)
+		fmt.Printf("ckpt sampled %dx%d %6.2fs  IPC %.3f±%.3f (full %.3f)  %d hits/%d misses\n",
+			cp.Samples, cp.SampleInsts, cp.SampledSecs, cp.SampledIPC, cp.SampledCI95,
+			cp.FullIPC, cp.SampledHits, cp.SampledMisses)
 	}
 
 	if figures {
@@ -329,6 +391,83 @@ func measureShards(ctx context.Context, benchmark string, width int, insts uint6
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// measureCkpt times the same logical run (streams engine, optimized
+// layout, 4 shards, 5% warmup) three ways: single-shot, sharded against
+// an empty checkpoint store — each shard functionally warms its prefix
+// and publishes a snapshot — and sharded against the populated store,
+// where each shard restores its boundary in O(state). It then times a
+// sampled run (populate pass first, timed pass restoring) over the same
+// trace. Hit/miss counts from the reports prove which path ran.
+func measureCkpt(ctx context.Context, benchmark string, width int, insts uint64) (*CkptPoint, error) {
+	s := streamfetch.New(benchmark,
+		streamfetch.WithInstructions(insts),
+		streamfetch.WithWidth(width),
+		streamfetch.WithEngine("streams"),
+		streamfetch.WithOptimizedLayout(),
+	)
+	if err := s.Prepare(ctx); err != nil {
+		return nil, err
+	}
+
+	const shards = 4
+	cp := &CkptPoint{Shards: shards, Warmup: insts / shards / 20}
+	st := store.NewMem()
+	defer st.Close()
+
+	timed := func(opts ...streamfetch.Option) (*streamfetch.Report, float64, error) {
+		start := time.Now()
+		rep, err := s.RunWith(ctx, opts...)
+		return rep, time.Since(start).Seconds(), err
+	}
+
+	full, secs, err := timed()
+	if err != nil {
+		return nil, err
+	}
+	cp.SingleSecs, cp.FullIPC = secs, full.IPC
+
+	sharded := []streamfetch.Option{
+		streamfetch.WithShards(shards),
+		streamfetch.WithWarmup(cp.Warmup),
+		streamfetch.WithCheckpoints(st),
+	}
+	cold, secs, err := timed(sharded...)
+	if err != nil {
+		return nil, err
+	}
+	cp.ColdSecs, cp.ColdMisses = secs, cold.CheckpointMisses
+
+	warm, secs, err := timed(sharded...)
+	if err != nil {
+		return nil, err
+	}
+	cp.WarmSecs, cp.WarmHits, cp.WarmIPC = secs, warm.CheckpointHits, warm.IPC
+	if cp.WarmSecs > 0 {
+		cp.SpeedupVsCold = cp.ColdSecs / cp.WarmSecs
+		cp.SpeedupVsSingle = cp.SingleSecs / cp.WarmSecs
+	}
+
+	// Sampled run: window boundaries differ from the shard boundaries,
+	// so the first pass publishes its own snapshots and the timed pass
+	// restores them — the steady state of repeated sampled sweeps.
+	cp.Samples, cp.SampleInsts = 8, insts/40
+	sampled := []streamfetch.Option{
+		streamfetch.WithSampling(cp.Samples, cp.SampleInsts),
+		streamfetch.WithWarmup(cp.SampleInsts / 5),
+		streamfetch.WithCheckpoints(st),
+	}
+	if _, _, err := timed(sampled...); err != nil {
+		return nil, err
+	}
+	samp, secs, err := timed(sampled...)
+	if err != nil {
+		return nil, err
+	}
+	cp.SampledSecs, cp.SampledIPC, cp.SampledCI95 = secs, samp.IPC, samp.IPCCI95
+	cp.SampledHits, cp.SampledMisses = samp.CheckpointHits, samp.CheckpointMisses
+	return cp, nil
 }
 
 // figureSweep runs the Figure-8 cell: harmonic-mean IPC per engine over the

@@ -1,0 +1,81 @@
+package cache
+
+import "streamfetch/internal/ckpt/wire"
+
+// Warm-state serialization for checkpoints. Only behavioral state is
+// captured: tags, valid bits, LRU stamps and the LRU clock. Statistics
+// counters are deliberately excluded — a restored run starts with zeroed
+// stats and the warm-region snapshot/delta in the simulator cancels the
+// baseline exactly as it does for a functionally warmed run.
+
+// AppendState appends the cache's behavioral state to dst.
+func (c *Cache) AppendState(dst []byte) []byte {
+	dst = wire.AppendU64(dst, c.clock)
+	dst = wire.AppendU64(dst, uint64(len(c.sets)))
+	if len(c.sets) > 0 {
+		dst = wire.AppendU64(dst, uint64(len(c.sets[0])))
+	} else {
+		dst = wire.AppendU64(dst, 0)
+	}
+	for _, set := range c.sets {
+		for _, w := range set {
+			dst = wire.AppendU64(dst, w.tag)
+			dst = wire.AppendBool(dst, w.valid)
+			dst = wire.AppendU64(dst, w.stamp)
+		}
+	}
+	return dst
+}
+
+// LoadState restores state appended by AppendState into a cache of
+// identical geometry. On a geometry mismatch or decode error the cache is
+// left unmodified and an error is returned; statistics are never touched.
+func (c *Cache) LoadState(r *wire.Reader) error {
+	clock := r.U64()
+	nsets := r.U64()
+	nways := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	wantWays := 0
+	if len(c.sets) > 0 {
+		wantWays = len(c.sets[0])
+	}
+	if nsets != uint64(len(c.sets)) || nways != uint64(wantWays) {
+		return wire.ErrMalformed
+	}
+	// Decode into scratch first so a truncated payload cannot leave the
+	// cache half-restored.
+	scratch := make([]way, nsets*nways)
+	for i := range scratch {
+		scratch[i].tag = r.U64()
+		scratch[i].valid = r.Bool()
+		scratch[i].stamp = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.clock = clock
+	for si := range c.sets {
+		copy(c.sets[si], scratch[si*int(nways):(si+1)*int(nways)])
+	}
+	return nil
+}
+
+// AppendState appends all three caches of the hierarchy.
+func (h *Hierarchy) AppendState(dst []byte) []byte {
+	dst = h.ICache.AppendState(dst)
+	dst = h.DCache.AppendState(dst)
+	return h.L2.AppendState(dst)
+}
+
+// LoadState restores all three caches of the hierarchy.
+func (h *Hierarchy) LoadState(r *wire.Reader) error {
+	if err := h.ICache.LoadState(r); err != nil {
+		return err
+	}
+	if err := h.DCache.LoadState(r); err != nil {
+		return err
+	}
+	return h.L2.LoadState(r)
+}

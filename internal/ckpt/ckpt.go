@@ -1,0 +1,125 @@
+// Package ckpt defines the versioned binary snapshot that carries a
+// shard's warm microarchitectural state across runs: the cache
+// hierarchy, the deterministic load address generator, and the fetch
+// engine's warm state as an opaque section keyed by engine name.
+//
+// A snapshot is taken at an interval boundary, after functional warming
+// of the prefix has completed and before the first timed cycle. Stored
+// in the artifact store under a key derived from the preparation inputs
+// and the boundary position, it lets a later run open the same boundary
+// in O(state) instead of replaying O(prefix) instructions. Snapshots
+// are pure cache entries: any decode failure — truncation, corruption,
+// a version or geometry mismatch — is a clean miss that sends the
+// caller back to functional warming, never an error surfaced to users.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/ckpt/wire"
+	"streamfetch/internal/pipeline"
+)
+
+// Version is the snapshot format version. Bump it on any change to the
+// layout of the encoded state; old blobs then decode as misses.
+const Version = 1
+
+// magic guards against feeding arbitrary store blobs into the decoder.
+const magic = "SFCK"
+
+// ErrVersion is reported for a snapshot with an unknown format version.
+var ErrVersion = errors.New("ckpt: unsupported snapshot version")
+
+// ErrChecksum is reported when a snapshot's payload fails integrity
+// verification. The sections encode raw table contents, so most bit
+// flips are structurally valid; without the envelope checksum they
+// would restore silently wrong state instead of missing cleanly.
+var ErrChecksum = errors.New("ckpt: snapshot checksum mismatch")
+
+// castagnoli is the CRC32-C table for the envelope checksum (hardware-
+// accelerated on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is a decoded checkpoint. The engine section stays opaque
+// here — the caller matches EngineName against the engine it built and
+// hands Engine to its LoadWarmState.
+type Snapshot struct {
+	// Boundary is the trace position (instructions from trace start) the
+	// state was captured at.
+	Boundary uint64
+	// EngineName identifies the fetch engine that produced Engine.
+	EngineName string
+	// Engine is the engine's warm state (WarmStater encoding).
+	Engine []byte
+
+	hier []byte
+	gen  []byte
+}
+
+// Encode serializes a checkpoint: the hierarchy and generator state are
+// captured via their AppendState methods, the engine section is taken
+// as already-encoded bytes.
+func Encode(dst []byte, boundary uint64, hier *cache.Hierarchy, gen *pipeline.LoadAddrGen, engineName string, engine []byte) []byte {
+	dst = append(dst, magic...)
+	// Checksum placeholder, filled over everything that follows it.
+	sumAt := len(dst)
+	dst = wire.AppendU64(dst, 0)
+	dst = wire.AppendU64(dst, Version)
+	dst = wire.AppendU64(dst, boundary)
+	dst = wire.AppendString(dst, engineName)
+	dst = wire.AppendBytes(dst, hier.AppendState(nil))
+	dst = wire.AppendBytes(dst, gen.AppendState(nil))
+	dst = wire.AppendBytes(dst, engine)
+	sum := crc32.Checksum(dst[sumAt+8:], castagnoli)
+	binary.LittleEndian.PutUint64(dst[sumAt:], uint64(sum))
+	return dst
+}
+
+// Decode parses an encoded snapshot. It never panics on corrupt input;
+// every malformed byte sequence decodes into an error.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+8 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic")
+	}
+	r := wire.NewReader(data[len(magic):])
+	sum := r.U64()
+	if crc32.Checksum(data[len(magic)+8:], castagnoli) != uint32(sum) || sum>>32 != 0 {
+		return nil, ErrChecksum
+	}
+	if v := r.U64(); r.Err() == nil && v != Version {
+		return nil, ErrVersion
+	}
+	s := &Snapshot{}
+	s.Boundary = r.U64()
+	s.EngineName = r.String()
+	s.hier = r.Bytes()
+	s.gen = r.Bytes()
+	s.Engine = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Apply restores the hierarchy and generator sections onto components of
+// identical geometry. On error the components may be partially restored
+// and the caller must discard them (rebuild and fall back to functional
+// warming). The engine section is applied separately by the caller.
+func (s *Snapshot) Apply(hier *cache.Hierarchy, gen *pipeline.LoadAddrGen) error {
+	hr := wire.NewReader(s.hier)
+	if err := hier.LoadState(hr); err != nil {
+		return err
+	}
+	if err := hr.Done(); err != nil {
+		return err
+	}
+	gr := wire.NewReader(s.gen)
+	if err := gen.LoadState(gr); err != nil {
+		return err
+	}
+	return gr.Done()
+}

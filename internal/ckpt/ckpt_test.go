@@ -1,0 +1,135 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"streamfetch/internal/cache"
+	"streamfetch/internal/isa"
+	"streamfetch/internal/pipeline"
+)
+
+// testHier is a deliberately small hierarchy: the corruption tests
+// below are quadratic in blob size (a decode per flipped byte), so the
+// paper-scale default geometry would make them crawl.
+func testHier() cache.HierarchyConfig {
+	cfg := cache.DefaultHierarchy(8)
+	cfg.ICache.SizeBytes = 4 << 10
+	cfg.DCache.SizeBytes = 4 << 10
+	cfg.L2.SizeBytes = 16 << 10
+	return cfg
+}
+
+func testComponents() (*cache.Hierarchy, *pipeline.LoadAddrGen) {
+	hier := cache.NewHierarchy(testHier())
+	gen := pipeline.NewLoadAddrGen(1<<16, 0x1000, 4096)
+	// Touch both so the snapshot carries non-trivial state.
+	for a := isa.Addr(0); a < 1<<14; a += 64 {
+		hier.ICache.Access(0x1000 + a)
+		hier.DCache.Access(0x80_0000 + a)
+	}
+	for i := 0; i < 500; i++ {
+		gen.Next(0x1000 + 4*isa.Addr(i%37))
+	}
+	return hier, gen
+}
+
+// TestRoundTrip: Encode → Decode → Apply restores a fresh hierarchy and
+// generator to produce the same subsequent behaviour as the originals.
+func TestRoundTrip(t *testing.T) {
+	hier, gen := testComponents()
+	blob := Encode(nil, 12345, hier, gen, "streams", []byte{1, 2, 3})
+
+	snap, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Boundary != 12345 || snap.EngineName != "streams" {
+		t.Fatalf("decoded header (%d, %q)", snap.Boundary, snap.EngineName)
+	}
+	if string(snap.Engine) != "\x01\x02\x03" {
+		t.Fatalf("engine section %v", snap.Engine)
+	}
+
+	hier2 := cache.NewHierarchy(testHier())
+	gen2 := pipeline.NewLoadAddrGen(1<<16, 0x1000, 4096)
+	if err := snap.Apply(hier2, gen2); err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural equivalence: the same accesses produce the same
+	// hit/miss outcomes and the same generated addresses.
+	for a := isa.Addr(0); a < 1<<14; a += 64 {
+		if h1, h2 := hier.ICache.Access(0x1000+a), hier2.ICache.Access(0x1000+a); h1 != h2 {
+			t.Fatalf("icache diverged at %#x: %v vs %v", a, h1, h2)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		pc := 0x1000 + 4*isa.Addr(i%37)
+		if a1, a2 := gen.Next(pc), gen2.Next(pc); a1 != a2 {
+			t.Fatalf("addr gen diverged at step %d: %#x vs %#x", i, a1, a2)
+		}
+	}
+}
+
+// TestGeometryMismatch: a snapshot applied to components of different
+// geometry fails cleanly instead of silently corrupting them.
+func TestGeometryMismatch(t *testing.T) {
+	hier, gen := testComponents()
+	blob := Encode(nil, 1, hier, gen, "streams", nil)
+	snap, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := testHier()
+	small.ICache.SizeBytes /= 2
+	if err := snap.Apply(cache.NewHierarchy(small), pipeline.NewLoadAddrGen(1<<16, 0x1000, 4096)); err == nil {
+		t.Fatal("geometry mismatch applied cleanly")
+	}
+}
+
+// TestDecodeCorrupt: truncation at every length and a flipped byte at
+// every offset decode into errors, never panics or false successes that
+// change the header fields.
+func TestDecodeCorrupt(t *testing.T) {
+	hier, gen := testComponents()
+	blob := Encode(nil, 7, hier, gen, "ev8", []byte("state"))
+
+	for n := 0; n < len(blob); n++ {
+		if _, err := Decode(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded cleanly", n, len(blob))
+		}
+	}
+	// Bit flips anywhere — header, checksum or section payload — must be
+	// rejected: the envelope checksum is what keeps a flipped table
+	// entry (structurally valid) from restoring silently wrong state.
+	for off := 0; off < len(blob); off++ {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0xff
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at offset %d decoded cleanly", off)
+		}
+	}
+}
+
+// TestDecodeWrongMagicAndVersion: foreign blobs and future versions are
+// rejected up front.
+func TestDecodeWrongMagicAndVersion(t *testing.T) {
+	if _, err := Decode([]byte("not a checkpoint at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+	hier, gen := testComponents()
+	blob := Encode(nil, 7, hier, gen, "ev8", nil)
+	// Bump the version field (offset 12: magic + checksum) and re-seal
+	// the checksum, so the version check itself is what rejects it.
+	blob[len(magic)+8]++
+	sum := crc32.Checksum(blob[len(magic)+8:], castagnoli)
+	binary.LittleEndian.PutUint64(blob[len(magic):], uint64(sum))
+	if _, err := Decode(blob); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v, want ErrVersion", err)
+	}
+}

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRoundTrip: every primitive encodes and decodes back to itself, in
+// sequence, with Done confirming full consumption.
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU64(b, 0)
+	b = AppendU64(b, ^uint64(0))
+	b = AppendU64(b, 0x0123_4567_89ab_cdef)
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendByte(b, 0x7f)
+	b = AppendBytes(b, nil)
+	b = AppendBytes(b, []byte{1, 2, 3})
+	b = AppendString(b, "streams")
+
+	r := NewReader(b)
+	for i, want := range []uint64{0, ^uint64(0), 0x0123_4567_89ab_cdef} {
+		if got := r.U64(); got != want {
+			t.Fatalf("u64 #%d = %#x, want %#x", i, got, want)
+		}
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if got := r.Byte(); got != 0x7f {
+		t.Fatalf("byte = %#x, want 0x7f", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Fatalf("empty bytes decoded as %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if got := r.String(); got != "streams" {
+		t.Fatalf("string = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done after full read: %v", err)
+	}
+}
+
+// TestTruncation: decoding any strict prefix of a valid encoding reports
+// an error (from the failing read or from Done) and never panics.
+func TestTruncation(t *testing.T) {
+	var b []byte
+	b = AppendU64(b, 42)
+	b = AppendString(b, "engine")
+	b = AppendBytes(b, []byte{9, 8, 7, 6})
+	for n := 0; n < len(b); n++ {
+		r := NewReader(b[:n])
+		r.U64()
+		_ = r.String()
+		r.Bytes()
+		if r.Err() == nil && r.Done() == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", n, len(b))
+		}
+	}
+}
+
+// TestTrailingBytes: Done rejects an encoding with unread bytes left.
+func TestTrailingBytes(t *testing.T) {
+	b := AppendU64(nil, 1)
+	b = append(b, 0xee)
+	r := NewReader(b)
+	r.U64()
+	if err := r.Done(); err == nil {
+		t.Fatal("Done accepted trailing bytes")
+	}
+}
+
+// TestStickyError: after a failed read every further read returns zero
+// values and the first error is preserved.
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U64(); got != 0 {
+		t.Fatalf("truncated u64 = %d, want 0", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("truncated read reported no error")
+	}
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("read after error = %v, want nil", got)
+	}
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+// TestLenGuard: Len rejects lengths above the caller's bound and lengths
+// exceeding the remaining input, so corrupt headers cannot drive huge
+// allocations.
+func TestLenGuard(t *testing.T) {
+	b := AppendU64(nil, 1_000_000)
+	r := NewReader(b)
+	if n := r.Len(64); n != 0 || r.Err() == nil {
+		t.Fatalf("Len(64) on length 1e6 = %d, err %v", n, r.Err())
+	}
+	r = NewReader(AppendU64(nil, 16))
+	if n := r.Len(1 << 20); n != 0 || r.Err() == nil {
+		t.Fatalf("Len beyond remaining input = %d, err %v", n, r.Err())
+	}
+}
+
+// TestBytesLengthGuard: a length prefix larger than the remaining input
+// is an error, not a panic or short read.
+func TestBytesLengthGuard(t *testing.T) {
+	b := AppendU64(nil, 1<<40)
+	b = append(b, 1, 2, 3)
+	r := NewReader(b)
+	if got := r.Bytes(); got != nil || r.Err() == nil {
+		t.Fatalf("oversized Bytes = %v, err %v", got, r.Err())
+	}
+}

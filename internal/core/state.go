@@ -1,0 +1,117 @@
+package core
+
+import (
+	"streamfetch/internal/bpred"
+	"streamfetch/internal/ckpt/wire"
+	"streamfetch/internal/isa"
+)
+
+// Warm-state serialization for checkpoints: stream table contents, path
+// histories and the in-flight stream builder. Lookup/hit statistics are
+// excluded.
+
+func (t *streamTable) appendState(dst []byte) []byte {
+	dst = wire.AppendU64(dst, t.clock)
+	dst = wire.AppendU64(dst, uint64(len(t.sets)))
+	if len(t.sets) > 0 {
+		dst = wire.AppendU64(dst, uint64(len(t.sets[0])))
+	} else {
+		dst = wire.AppendU64(dst, 0)
+	}
+	for _, set := range t.sets {
+		for _, e := range set {
+			dst = wire.AppendBool(dst, e.valid)
+			dst = wire.AppendU64(dst, e.tag)
+			dst = wire.AppendByte(dst, e.len)
+			dst = wire.AppendByte(dst, byte(e.typ))
+			dst = wire.AppendU64(dst, uint64(e.next))
+			dst = wire.AppendByte(dst, byte(e.ctr))
+			dst = wire.AppendU64(dst, e.stamp)
+		}
+	}
+	return dst
+}
+
+func (t *streamTable) loadState(r *wire.Reader) error {
+	clock := r.U64()
+	nsets := r.U64()
+	nways := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	wantWays := 0
+	if len(t.sets) > 0 {
+		wantWays = len(t.sets[0])
+	}
+	if nsets != uint64(len(t.sets)) || nways != uint64(wantWays) {
+		return wire.ErrMalformed
+	}
+	scratch := make([]streamEntry, nsets*nways)
+	for i := range scratch {
+		scratch[i].valid = r.Bool()
+		scratch[i].tag = r.U64()
+		scratch[i].len = r.Byte()
+		scratch[i].typ = isa.BranchType(r.Byte())
+		scratch[i].next = isa.Addr(r.U64())
+		scratch[i].ctr = bpred.TwoBit(r.Byte())
+		scratch[i].stamp = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	t.clock = clock
+	for si := range t.sets {
+		copy(t.sets[si], scratch[si*int(nways):(si+1)*int(nways)])
+	}
+	return nil
+}
+
+// AppendState appends both stream tables and both path histories.
+func (p *Predictor) AppendState(dst []byte) []byte {
+	dst = p.t1.appendState(dst)
+	dst = p.t2.appendState(dst)
+	dst = p.SpecPath.AppendState(dst)
+	return p.RetPath.AppendState(dst)
+}
+
+// LoadState restores a predictor of identical geometry; stats untouched.
+func (p *Predictor) LoadState(r *wire.Reader) error {
+	if err := p.t1.loadState(r); err != nil {
+		return err
+	}
+	if err := p.t2.loadState(r); err != nil {
+		return err
+	}
+	if err := p.SpecPath.LoadState(r); err != nil {
+		return err
+	}
+	return p.RetPath.LoadState(r)
+}
+
+// AppendState appends the builder's in-flight stream tracking.
+func (b *Builder) AppendState(dst []byte) []byte {
+	dst = wire.AppendU64(dst, uint64(b.start))
+	dst = wire.AppendU64(dst, uint64(b.len))
+	dst = wire.AppendBool(dst, b.started)
+	dst = wire.AppendBool(dst, b.mispredictedStream)
+	dst = wire.AppendU64(dst, uint64(b.partialStart))
+	dst = wire.AppendU64(dst, uint64(b.partialLen))
+	return wire.AppendBool(dst, b.hasPartial)
+}
+
+// LoadState restores the builder; it is unmodified on error.
+func (b *Builder) LoadState(r *wire.Reader) error {
+	var nb Builder
+	nb.start = isa.Addr(r.U64())
+	nb.len = int(r.U64())
+	nb.started = r.Bool()
+	nb.mispredictedStream = r.Bool()
+	nb.partialStart = isa.Addr(r.U64())
+	nb.partialLen = int(r.U64())
+	nb.hasPartial = r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*b = nb
+	return nil
+}

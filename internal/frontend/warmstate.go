@@ -1,0 +1,149 @@
+package frontend
+
+import (
+	"streamfetch/internal/ckpt/wire"
+	"streamfetch/internal/isa"
+)
+
+// WarmStater is implemented by engines whose warm microarchitectural
+// state (predictor tables, trace storage, return stacks, in-flight
+// commit-side builders) can be captured into and restored from a
+// checkpoint. Fetch-side state (fetch address, FTQ, busy counters) is
+// deliberately out of scope: checkpoints are taken at an interval
+// boundary before the first timed cycle, where that state still holds
+// its construction-time values in both the capturing and the restoring
+// run. Statistics counters are likewise excluded.
+type WarmStater interface {
+	// AppendWarmState appends the engine's warm state to dst.
+	AppendWarmState(dst []byte) []byte
+	// LoadWarmState restores state produced by AppendWarmState on an
+	// engine of identical configuration. On error the engine may be
+	// partially modified and must be discarded.
+	LoadWarmState(data []byte) error
+}
+
+// AppendWarmState implements WarmStater.
+func (e *StreamEngine) AppendWarmState(dst []byte) []byte {
+	dst = e.pred.AppendState(dst)
+	dst = e.builder.AppendState(dst)
+	dst = e.specRAS.AppendState(dst)
+	return e.retRAS.AppendState(dst)
+}
+
+// LoadWarmState implements WarmStater.
+func (e *StreamEngine) LoadWarmState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := e.pred.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.builder.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.specRAS.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.retRAS.LoadState(r); err != nil {
+		return err
+	}
+	return r.Done()
+}
+
+// AppendWarmState implements WarmStater.
+func (e *EV8Engine) AppendWarmState(dst []byte) []byte {
+	dst = e.gskew.AppendState(dst)
+	dst = e.btb.AppendState(dst)
+	dst = e.specRAS.AppendState(dst)
+	return e.retRAS.AppendState(dst)
+}
+
+// LoadWarmState implements WarmStater.
+func (e *EV8Engine) LoadWarmState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := e.gskew.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.btb.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.specRAS.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.retRAS.LoadState(r); err != nil {
+		return err
+	}
+	return r.Done()
+}
+
+// AppendWarmState implements WarmStater.
+func (e *FTBEngine) AppendWarmState(dst []byte) []byte {
+	dst = e.ftb.AppendState(dst)
+	dst = e.perc.AppendState(dst)
+	dst = e.specRAS.AppendState(dst)
+	dst = e.retRAS.AppendState(dst)
+	return wire.AppendU64(dst, uint64(e.commitBlockStart))
+}
+
+// LoadWarmState implements WarmStater.
+func (e *FTBEngine) LoadWarmState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := e.ftb.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.perc.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.specRAS.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.retRAS.LoadState(r); err != nil {
+		return err
+	}
+	cbs := r.U64()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	e.commitBlockStart = isa.Addr(cbs)
+	return nil
+}
+
+// AppendWarmState implements WarmStater.
+func (e *TraceCacheEngine) AppendWarmState(dst []byte) []byte {
+	dst = e.pred.AppendState(dst)
+	dst = e.store.AppendState(dst)
+	dst = e.fill.AppendState(dst)
+	dst = e.btb.AppendState(dst)
+	dst = e.specRAS.AppendState(dst)
+	return e.retRAS.AppendState(dst)
+}
+
+// LoadWarmState implements WarmStater.
+func (e *TraceCacheEngine) LoadWarmState(data []byte) error {
+	r := wire.NewReader(data)
+	if err := e.pred.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.store.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.fill.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.btb.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.specRAS.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.retRAS.LoadState(r); err != nil {
+		return err
+	}
+	return r.Done()
+}
+
+// Compile-time checks that every engine supports checkpointing.
+var (
+	_ WarmStater = (*StreamEngine)(nil)
+	_ WarmStater = (*EV8Engine)(nil)
+	_ WarmStater = (*FTBEngine)(nil)
+	_ WarmStater = (*TraceCacheEngine)(nil)
+)

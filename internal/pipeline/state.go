@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"sort"
+
+	"streamfetch/internal/ckpt/wire"
+	"streamfetch/internal/isa"
+)
+
+// Warm-state serialization for the deterministic load address generator.
+// The per-PC occurrence counts are the whole of its behavioral state: a
+// restored generator replays the exact address sequence a functionally
+// warmed one would continue with.
+
+// AppendState appends the generator's state to dst. Overflow entries are
+// emitted in sorted key order so equal states encode to equal bytes.
+func (g *LoadAddrGen) AppendState(dst []byte) []byte {
+	dst = wire.AppendU64(dst, uint64(len(g.counts)))
+	for _, c := range g.counts {
+		dst = wire.AppendU64(dst, c)
+	}
+	keys := make([]isa.Addr, 0, len(g.overflow))
+	for k := range g.overflow {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dst = wire.AppendU64(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendU64(dst, uint64(k))
+		dst = wire.AppendU64(dst, g.overflow[k])
+	}
+	return dst
+}
+
+// LoadState restores state appended by AppendState into a generator built
+// for the same layout. The generator is unmodified on error.
+func (g *LoadAddrGen) LoadState(r *wire.Reader) error {
+	n := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != uint64(len(g.counts)) {
+		return wire.ErrMalformed
+	}
+	scratch := make([]uint64, n)
+	for i := range scratch {
+		scratch[i] = r.U64()
+	}
+	no := r.Len(1 << 24)
+	type kv struct {
+		k isa.Addr
+		v uint64
+	}
+	ov := make([]kv, no)
+	for i := range ov {
+		ov[i] = kv{isa.Addr(r.U64()), r.U64()}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	copy(g.counts, scratch)
+	g.overflow = nil
+	if len(ov) > 0 {
+		g.overflow = make(map[isa.Addr]uint64, len(ov))
+		for _, e := range ov {
+			g.overflow[e.k] = e.v
+		}
+	}
+	return nil
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// false stops the simulation early (Result.Aborted is set). Long
 	// sweeps use it for cancellation and progress reporting.
 	OnProgress func(retired, cycles uint64) bool
+
+	// OnWarmed, when set, fires once per run at the instant the
+	// functional-warming prefix has fully drained — after the warm state
+	// (caches, address generator, engine tables) reflects the replayed
+	// prefix and before the first timed cycle. Checkpoint capture hangs
+	// off this hook; it only fires for sources with a lead-in.
+	OnWarmed func(p *Processor)
 	// ProgressInterval is the OnProgress cadence in retired instructions
 	// (0 = 65536).
 	ProgressInterval uint64
@@ -163,11 +170,12 @@ const supplyBatch = 512
 // final block of each batch is carried into the next one, since expansion
 // needs the dynamically following block.
 //
-// When the source carries lead-in regions (warm != nil), the supply falls
-// back to per-block pulls so every block's region flag is observed, and
-// handles regions in expansion order: functional-warming blocks are
-// expanded, handed to the fwarm callback instruction by instruction, and
-// never delivered to the pipeline; timing-warmup blocks are delivered and
+// When the source carries lead-in regions (warm != nil), the supply still
+// pulls batch-wise: IntervalSource.NextBatch never spans a region
+// boundary, so one LastRegion call classifies a whole batch. Regions are
+// handled in expansion order: functional-warming batches are expanded,
+// handed to the fwarm callback instruction by instruction, and never
+// delivered to the pipeline; timing-warmup batches are delivered and
 // counted into warmDyn. Lead-in blocks are a strict prefix of the stream,
 // so once a measured block has been expanded (crossed), warmDyn is the
 // exact retirement count at which the measure phase begins.
@@ -182,29 +190,17 @@ type dynSupply struct {
 	blkLen  int // blocks in blk awaiting expansion (0 or 1 between fills)
 	srcDone bool
 
-	// Per-block path state (warm != nil).
-	primed   bool
-	cur      cfg.BlockID
-	haveCur  bool
-	next     cfg.BlockID
-	haveNext bool
+	// Warm-path carry (warm != nil): the final block of the previous
+	// batch, held until its lookahead — the next batch's first block —
+	// is known, together with the region it was delivered under.
+	carryBlk  [1]cfg.BlockID
+	carryReg  trace.Region
+	haveCarry bool
 
 	warm    warmSource
 	fwarm   func(layout.DynInst)
-	curReg  trace.Region
-	nextReg trace.Region
 	warmDyn uint64
 	crossed bool
-}
-
-// pull reads one block from the source together with its region flag.
-func (d *dynSupply) pull() (cfg.BlockID, bool, trace.Region) {
-	id, ok := d.src.Next()
-	reg := trace.RegionMeasure
-	if ok && d.warm != nil {
-		reg = d.warm.LastRegion()
-	}
-	return id, ok, reg
 }
 
 func (d *dynSupply) peek() (layout.DynInst, bool) {
@@ -264,49 +260,80 @@ func (d *dynSupply) fill() bool {
 	return true
 }
 
-// peekWarm is the per-block supply path for sources with lead-in regions:
-// one block of lookahead, region flags consulted after every pull.
+// peekWarm is the supply path for sources with lead-in regions: batched
+// pulls like the common path, one region classification per batch.
 func (d *dynSupply) peekWarm() (layout.DynInst, bool) {
 	for d.pos >= len(d.buf) {
-		if !d.primed {
-			d.primed = true
-			d.cur, d.haveCur, d.curReg = d.pull()
-			if d.haveCur {
-				d.next, d.haveNext, d.nextReg = d.pull()
-			}
-		}
-		if !d.haveCur {
+		if !d.fillWarm() {
 			return layout.DynInst{}, false
-		}
-		nb := cfg.NoBlock
-		if d.haveNext {
-			nb = d.next
-		}
-		d.buf = d.lay.AppendDyn(d.buf[:0], d.cur, nb)
-		d.pos = 0
-		switch d.curReg {
-		case trace.RegionFuncWarm:
-			// Replay state functionally and drop the block: the
-			// pipeline never sees it.
-			if d.fwarm != nil {
-				for _, di := range d.buf {
-					d.fwarm(di)
-				}
-			}
-			d.pos = len(d.buf)
-		case trace.RegionWarm:
-			d.warmDyn += uint64(len(d.buf))
-		default:
-			d.crossed = true
-		}
-		d.cur, d.haveCur, d.curReg = d.next, d.haveNext, d.nextReg
-		if d.haveCur {
-			d.next, d.haveNext, d.nextReg = d.pull()
-		} else {
-			d.haveNext = false
 		}
 	}
 	return d.buf[d.pos], true
+}
+
+// deliverWarm expands a same-region run of blocks (the last expanding
+// toward nb) and routes the result by region: functional-warming
+// instructions are fed to the fwarm callback and dropped, warmup and
+// measured instructions are appended for the pipeline.
+func (d *dynSupply) deliverWarm(blocks []cfg.BlockID, nb cfg.BlockID, reg trace.Region) {
+	start := len(d.buf)
+	d.buf = d.lay.AppendDynRun(d.buf, blocks, nb)
+	switch reg {
+	case trace.RegionFuncWarm:
+		// Replay state functionally and drop the run: the pipeline
+		// never sees it.
+		if d.fwarm != nil {
+			for _, di := range d.buf[start:] {
+				d.fwarm(di)
+			}
+		}
+		d.buf = d.buf[:start]
+	case trace.RegionWarm:
+		d.warmDyn += uint64(len(d.buf) - start)
+	default:
+		d.crossed = true
+	}
+}
+
+// fillWarm refills the dyn window through one NextBatch pull. The source
+// guarantees a batch never spans a region boundary, so LastRegion after
+// the pull classifies every delivered block; the carried final block of
+// the previous batch keeps the region it was delivered under. It returns
+// false when nothing remains, and true after making progress — possibly
+// with an empty window, when the whole batch was functional warming.
+func (d *dynSupply) fillWarm() bool {
+	if d.blk == nil {
+		d.blk = make([]cfg.BlockID, supplyBatch)
+		d.buf = make([]layout.DynInst, 0, supplyBatch*d.lay.MaxBlockSlots())
+	}
+	d.buf = d.buf[:0]
+	d.pos = 0
+	n := 0
+	var reg trace.Region
+	if !d.srcDone {
+		n = d.src.NextBatch(d.blk)
+		if n == 0 {
+			d.srcDone = true
+		} else {
+			reg = d.warm.LastRegion()
+		}
+	}
+	if !d.haveCarry && n == 0 {
+		return false
+	}
+	if d.haveCarry {
+		nb := cfg.NoBlock
+		if n > 0 {
+			nb = d.blk[0]
+		}
+		d.haveCarry = false
+		d.deliverWarm(d.carryBlk[:], nb, d.carryReg)
+	}
+	if n > 0 {
+		d.deliverWarm(d.blk[:n-1], d.blk[n-1], reg)
+		d.carryBlk[0], d.carryReg, d.haveCarry = d.blk[n-1], reg, true
+	}
+	return true
 }
 
 func (d *dynSupply) advance() { d.pos++ }
@@ -317,6 +344,7 @@ type Processor struct {
 	lay    *layout.Layout
 	hier   *cache.Hierarchy
 	engine frontend.Engine
+	lat    *pipeline.Latency
 	supply dynSupply
 }
 
@@ -343,6 +371,12 @@ func New(lay *layout.Layout, src trace.Source, cfg Config) (*Processor, error) {
 		lay:    lay,
 		hier:   hier,
 		engine: eng,
+		lat: &pipeline.Latency{
+			Hier: hier,
+			Gen: pipeline.NewLoadAddrGen(cfg.Pipeline.DataWorkingSet,
+				layout.CodeBase, lay.TotalSlots()),
+			Mul: cfg.Pipeline.MulLatency,
+		},
 		supply: dynSupply{lay: lay, src: src},
 	}
 	// A source with warmup lead-in splits the run into a counters-frozen
@@ -371,6 +405,13 @@ func (p *Processor) counters(res *Result, cycle uint64) Counters {
 // Engine exposes the running engine (for reports).
 func (p *Processor) Engine() frontend.Engine { return p.engine }
 
+// Hier exposes the cache hierarchy (for checkpoint capture/restore).
+func (p *Processor) Hier() *cache.Hierarchy { return p.hier }
+
+// Gen exposes the load address generator (for checkpoint
+// capture/restore).
+func (p *Processor) Gen() *pipeline.LoadAddrGen { return p.lat.Gen }
+
 // outstanding tracks the single unresolved misprediction. It is held by
 // value in Run (no per-misprediction heap allocation).
 type outstanding struct {
@@ -391,12 +432,7 @@ type outstanding struct {
 func (p *Processor) Run() Result {
 	cfg := p.cfg
 	width := cfg.Width
-	lat := &pipeline.Latency{
-		Hier: p.hier,
-		Gen: pipeline.NewLoadAddrGen(cfg.Pipeline.DataWorkingSet,
-			layout.CodeBase, p.lay.TotalSlots()),
-		Mul: cfg.Pipeline.MulLatency,
-	}
+	lat := p.lat
 	rob := pipeline.NewROB(cfg.Pipeline.ROBSize)
 	// The fetch buffer reuses the ROB's ring structure: a fixed-capacity
 	// in-order window of entries with contiguous sequence numbers.
@@ -445,12 +481,13 @@ func (p *Processor) Run() Result {
 	}
 
 	// Functional warming: the interval's pre-warmup prefix is replayed
-	// through the cache hierarchy and the load address generator without
-	// timing, so a mid-trace shard starts its measure window with
-	// in-situ-accurate memory state — and with the per-PC address
-	// sequences exactly where a whole-trace run would have them. The
-	// instruction stream is walked at decode speed (no pipeline), which
-	// is what keeps sharding profitable.
+	// through the cache hierarchy, the load address generator and the
+	// engine's commit-side training (predictor tables, return stacks,
+	// stream/trace builders) without timing, so a mid-trace shard starts
+	// its measure window with in-situ-accurate memory and predictor state
+	// — and with the per-PC address sequences exactly where a whole-trace
+	// run would have them. The instruction stream is walked at decode
+	// speed (no pipeline), which is what keeps sharding profitable.
 	if p.supply.warm != nil {
 		lineMask := ^isa.Addr(p.hier.ICache.LineBytes() - 1)
 		lastLine := ^isa.Addr(0)
@@ -465,6 +502,15 @@ func (p *Processor) Run() Result {
 			case isa.ClassStore:
 				p.hier.Store(isa.Addr(lat.Gen.Next(di.Addr)))
 			}
+			cm := frontend.Committed{
+				Addr:   di.Addr,
+				Branch: di.Branch,
+				Taken:  di.Taken,
+			}
+			if di.Taken {
+				cm.Target = di.NextAddr
+			}
+			p.engine.Commit(cm)
 		}
 	}
 
@@ -472,7 +518,14 @@ func (p *Processor) Run() Result {
 	// program entry the engine was built to fetch from: point fetch at it
 	// before the first cycle. Whole-trace runs start at the entry already,
 	// so they see no redirect (and stay byte-identical).
-	if first, ok := p.supply.peek(); ok && first.Addr != p.lay.Start(p.lay.Prog.Entry) {
+	first, haveFirst := p.supply.peek()
+	// The first peek drains the whole functional-warming prefix (it is a
+	// strict prefix of the stream): warm state is complete here, before
+	// any timed cycle — the checkpoint capture point.
+	if cfg.OnWarmed != nil && p.supply.warm != nil {
+		cfg.OnWarmed(p)
+	}
+	if haveFirst && first.Addr != p.lay.Start(p.lay.Prog.Entry) {
 		p.engine.Redirect(first.Addr, false)
 	}
 

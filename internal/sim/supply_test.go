@@ -75,6 +75,45 @@ func TestSupplyBatchedAllocFree(t *testing.T) {
 	}
 }
 
+// TestSupplyWarmBatchedAllocFree pins the warm path's perf contract: a
+// lead-in-bearing source pulls region-wise batches through the same
+// reused block and dyn windows as the plain path, so after the lazily
+// allocated buffers exist the peek/advance/refill loop — functional
+// warming, timed warmup and measurement alike — performs zero heap
+// allocations.
+func TestSupplyWarmBatchedAllocFree(t *testing.T) {
+	b := loadBench(t, "164.gzip", 4_000_000)
+	src := b.tr.Source()
+	iv, err := trace.NewInterval(src, b.lay.Prog, trace.IntervalConfig{
+		Start: 1_000_000, Warmup: 50_000, FuncWarm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iv.Close()
+
+	d := dynSupply{lay: b.lay, src: iv, warm: iv, fwarm: func(layout.DynInst) {}}
+	// The first peek allocates the batch buffers and drains the whole
+	// functional-warming prefix; everything after it must be free.
+	if _, ok := d.peek(); !ok {
+		t.Fatal("empty supply")
+	}
+	step := func() {
+		for i := 0; i < 10_000; i++ {
+			if _, ok := d.peek(); !ok {
+				t.Fatal("trace exhausted during measurement; enlarge the workload")
+			}
+			d.advance()
+		}
+	}
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Fatalf("warm batched supply allocates %.2f objects per 10k instructions, want 0", avg)
+	}
+	if !d.crossed {
+		t.Fatal("supply never crossed into the measure region")
+	}
+}
+
 // TestSupplyWarmPathUnchanged: a source with lead-in regions routes through
 // the per-block path and flags warmup instruction counts exactly as the
 // interval accounting does.

@@ -134,6 +134,12 @@ type RunRequest struct {
 	Warmup          uint64 `json:"warmup,omitempty"`
 	ColdShards      bool   `json:"cold_shards,omitempty"`
 	ICacheLineBytes int    `json:"icache_line_bytes,omitempty"`
+	// Samples > 0 switches the run to sampled mode (WithSampling): that
+	// many measure windows of SampleInsts instructions each, merged with
+	// an IPC confidence interval instead of simulating the whole trace.
+	// Shards is then ignored; Warmup and ColdShards shape each window.
+	Samples     int    `json:"samples,omitempty"`
+	SampleInsts uint64 `json:"sample_insts,omitempty"`
 	// TimeoutMS bounds the job's execution time (queue wait excluded):
 	// past it the run aborts and the job finishes failed with its partial
 	// report. 0 defers to the server's -max-job-time cap; a value above
@@ -168,6 +174,12 @@ func (r *RunRequest) validate() error {
 	if r.Shards < 0 {
 		return fmt.Errorf("negative shards %d", r.Shards)
 	}
+	if r.Samples < 0 {
+		return fmt.Errorf("negative samples %d", r.Samples)
+	}
+	if r.Samples > 0 && r.SampleInsts == 0 {
+		return errors.New("samples need a positive sample_insts window")
+	}
 	return nil
 }
 
@@ -198,6 +210,9 @@ func (r *RunRequest) runOptions() []Option {
 	}
 	if r.ICacheLineBytes > 0 {
 		opts = append(opts, WithICacheLineBytes(r.ICacheLineBytes))
+	}
+	if r.Samples > 0 {
+		opts = append(opts, WithSampling(r.Samples, r.SampleInsts))
 	}
 	return opts
 }
@@ -357,6 +372,16 @@ type runKeySpec struct {
 	Warmup     uint64 `json:"warmup"`
 	ColdShards bool   `json:"cold_shards"`
 	LineBytes  int    `json:"line_bytes"`
+	// Sampled mode. omitempty keeps non-sampled requests hashing exactly
+	// as they did before these fields existed, preserving cached results.
+	Samples     int    `json:"samples,omitempty"`
+	SampleInsts uint64 `json:"sample_insts,omitempty"`
+	// FwarmV versions the functional-warming semantics (2 = the prefix
+	// replay trains the engine's commit-side state, not just caches and
+	// the address generator). Set only for runs that functionally warm a
+	// prefix; omitempty keeps every other key — and its cached result —
+	// intact across the semantics change.
+	FwarmV int `json:"fwarm_v,omitempty"`
 }
 
 // contentKey hashes the request's normalized semantic fields. Call only
@@ -381,12 +406,25 @@ func (r *RunRequest) contentKey() string {
 		Warmup:     r.Warmup,
 		ColdShards: r.ColdShards,
 		LineBytes:  r.ICacheLineBytes,
+
+		Samples:     max(r.Samples, 0),
+		SampleInsts: r.SampleInsts,
 	}
-	// Warmup and cold-shard mode only shape sharded runs; an unsharded
-	// run ignores them, so they must not split its key space.
-	if k.Shards <= 1 {
-		k.Warmup = 0
-		k.ColdShards = false
+	if k.Samples > 0 {
+		// Sampling replaces sharding: the shard count is ignored, while
+		// Warmup and ColdShards still shape each sampled window.
+		k.Shards = 1
+	} else {
+		k.SampleInsts = 0
+		// Warmup and cold-shard mode only shape sharded runs; an unsharded
+		// run ignores them, so they must not split its key space.
+		if k.Shards <= 1 {
+			k.Warmup = 0
+			k.ColdShards = false
+		}
+	}
+	if !k.ColdShards && (k.Shards > 1 || k.Samples > 0) {
+		k.FwarmV = 2
 	}
 	return store.Key(k)
 }
@@ -409,6 +447,8 @@ type sweepKeySpec struct {
 	Shards     int      `json:"shards"`
 	Warmup     uint64   `json:"warmup"`
 	ColdShards bool     `json:"cold_shards"`
+	// FwarmV mirrors runKeySpec.FwarmV for sharded sweep cells.
+	FwarmV int `json:"fwarm_v,omitempty"`
 }
 
 // contentKey hashes the sweep's normalized identity. Call only after
@@ -436,6 +476,9 @@ func (r *SweepRequest) contentKey() string {
 	if k.Shards <= 1 {
 		k.Warmup = 0
 		k.ColdShards = false
+	}
+	if !k.ColdShards && k.Shards > 1 {
+		k.FwarmV = 2
 	}
 	return store.Key(k)
 }
@@ -726,6 +769,12 @@ type jobManager struct {
 	coalesced atomic.Int64 // submissions folded into an in-flight twin
 	storeErrs atomic.Int64 // store writes that failed after retries
 	retries   atomic.Int64 // individual store-write retry attempts
+
+	// Warm-state checkpoint outcomes summed over every executed job
+	// (see WithCheckpoints): intervals restored from the store versus
+	// intervals that warmed functionally and published a checkpoint.
+	ckptHits   atomic.Int64
+	ckptMisses atomic.Int64
 
 	// runHook, when set, observes each job body that actually executes a
 	// simulation (test seam for coalescing/caching assertions: coalesced
@@ -1087,6 +1136,17 @@ func (m *jobManager) effTimeout(ms int64) time.Duration {
 	return d
 }
 
+// useCheckpoints decides whether a job's runs should share the daemon's
+// store for warm-state checkpoints. Gated on a timed warmup lead-in:
+// with warmup > 0 a checkpoint-restored interval is byte-identical to a
+// functionally warmed one, so the content-keyed result cache stays sound
+// (reports differ at most in their checkpoint hit/miss counters);
+// without warmup a restored interval's supply path can differ by a
+// cycle, which would let store state leak into cached results.
+func (m *jobManager) useCheckpoints(warmup uint64, shards, samples int) bool {
+	return warmup > 0 && (shards > 1 || samples > 0)
+}
+
 // runJobFunc builds the executable body of a single-configuration run.
 func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
 	return func(j *job) jobFunc {
@@ -1097,7 +1157,14 @@ func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
 			}
 			sess := m.sessions.get(req.prepSpec())
 			opts := append(req.runOptions(), WithProgress(0, j.noteProgress))
+			if m.useCheckpoints(req.Warmup, req.Shards, req.Samples) {
+				opts = append(opts, WithCheckpoints(m.store))
+			}
 			rep, err := sess.RunWith(ctx, opts...)
+			if rep != nil {
+				m.ckptHits.Add(int64(rep.CheckpointHits))
+				m.ckptMisses.Add(int64(rep.CheckpointMisses))
+			}
 			return rep, nil, err
 		}
 	}
@@ -1118,8 +1185,18 @@ func (m *jobManager) sweepJobFunc(req SweepRequest) func(*job) jobFunc {
 			for i, b := range req.Benchmarks {
 				sessions[i] = m.sessions.get(req.prepSpec(b))
 			}
+			cellOpts := req.cellOptions()
+			if m.useCheckpoints(req.Warmup, req.Shards, 0) {
+				cellOpts = append(cellOpts, WithCheckpoints(m.store))
+			}
 			cells, err := RunGrid(ctx, sessions, req.Widths, req.Layouts, req.Engines,
-				true, j.noteCell, req.cellOptions()...)
+				true, j.noteCell, cellOpts...)
+			for _, c := range cells {
+				if c.Report != nil {
+					m.ckptHits.Add(int64(c.Report.CheckpointHits))
+					m.ckptMisses.Add(int64(c.Report.CheckpointMisses))
+				}
+			}
 			return nil, cells, err
 		}
 	}

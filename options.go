@@ -122,6 +122,40 @@ func WithColdShards() Option {
 	return func(s *Session) { s.coldShards = true }
 }
 
+// WithCheckpoints caches warm microarchitectural state in st: every
+// mid-trace interval (sharded shard or sampled window) looks up a
+// checkpoint for its boundary and, on a hit, restores caches, predictor
+// tables and the load address generator in O(state) instead of
+// functionally replaying its O(prefix) lead-in; on a miss it warms
+// functionally and publishes the checkpoint it produced for the next
+// run — including a restarted daemon or another daemon sharing the
+// store. Checkpoints key on the preparation inputs (benchmark, seeds,
+// engine, width, layout, trace file path) plus the boundary position;
+// any mismatch, torn blob or stale format decodes as a clean miss.
+// In-memory traces (WithTrace) have no stable identity and never use
+// checkpoints, nor do cold shards (WithColdShards), whose skipped
+// prefix leaves nothing to capture. Report.CheckpointHits/Misses count
+// the outcomes. nil disables checkpointing (the default).
+func WithCheckpoints(st store.Store) Option {
+	return func(s *Session) { s.ckptStore = st }
+}
+
+// WithSampling switches the run to statistical sampling: instead of
+// simulating the whole trace, k measure windows of intervalInsts
+// instructions each are spread evenly across it, simulated independently
+// (with the WithWarmup lead-in and, under WithCheckpoints, checkpoint
+// restore per window), and merged. The report carries the merged
+// counters plus ipc_ci95, the 95% confidence half-width on IPC derived
+// from the per-window spread. Cycle-exact totals are replaced by
+// estimates — counts cover only the sampled windows — so sampled runs
+// trade exactness for paper-scale speed. k <= 0 disables sampling.
+func WithSampling(k int, intervalInsts uint64) Option {
+	return func(s *Session) {
+		s.samples = k
+		s.sampleInsts = intervalInsts
+	}
+}
+
 // WithICacheLineBytes overrides the L1 instruction cache line size,
 // keeping the rest of the Table-2 hierarchy (the Figure-7 misalignment
 // sweeps; default is 4x the pipe width in instructions).

@@ -69,6 +69,22 @@ type Report struct {
 	Shards      int              `json:"shards,omitempty"`
 	WarmupInsts uint64           `json:"warmup_insts,omitempty"`
 	Intervals   []IntervalReport `json:"intervals,omitempty"`
+
+	// Checkpointed runs only (WithCheckpoints): how many intervals
+	// restored their warm state from the store versus warming
+	// functionally (and publishing a checkpoint). Both zero when
+	// checkpointing was off or no interval had a warmable prefix.
+	CheckpointHits   uint64 `json:"checkpoint_hits,omitempty"`
+	CheckpointMisses uint64 `json:"checkpoint_misses,omitempty"`
+
+	// Sampled runs only (WithSampling): the window count actually
+	// simulated, the per-window length, and the 95% confidence
+	// half-width on IPC estimated from the per-window spread. Counters
+	// in a sampled report cover only the sampled windows (TraceInsts is
+	// the sampled coverage): they are estimates, not exact totals.
+	Samples     int     `json:"samples,omitempty"`
+	SampleInsts uint64  `json:"sample_insts,omitempty"`
+	IPCCI95     float64 `json:"ipc_ci95,omitempty"`
 }
 
 // IntervalReport is one trace interval of a sharded run.

@@ -183,6 +183,15 @@ type Health struct {
 	StoreErrors       int64  `json:"store_errors,omitempty"`
 	StoreRetries      int64  `json:"store_retries,omitempty"`
 
+	// Warm-state checkpointing (summed over executed jobs that ran with
+	// checkpoints): CheckpointHits counts trace intervals that restored
+	// their warm state from the store in O(state), CheckpointMisses
+	// intervals that functionally replayed their prefix and published a
+	// checkpoint for the next run. A warming hit rate near 1 means the
+	// O(shards × prefix) term is gone for the current workload mix.
+	CheckpointHits   int64 `json:"checkpoint_hits,omitempty"`
+	CheckpointMisses int64 `json:"checkpoint_misses,omitempty"`
+
 	// Degraded mode: StoreDegraded reports that store writes are
 	// persistently failing and the server has fallen back to memory-only
 	// acceptance — submissions succeed but do not survive a restart, and
@@ -242,6 +251,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		StoreBytes:         stats.Bytes,
 		StoreErrors:        errs,
 		StoreRetries:       m.retries.Load(),
+		CheckpointHits:     m.ckptHits.Load(),
+		CheckpointMisses:   m.ckptMisses.Load(),
 		StoreDegraded:      degraded,
 		StoreLastError:     lastErr,
 		StoreLastErrorTime: lastErrAt,

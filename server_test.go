@@ -15,6 +15,7 @@ import (
 
 	"streamfetch"
 	"streamfetch/internal/par"
+	"streamfetch/internal/store"
 )
 
 // newTestServer builds a Server, failing the test on configuration
@@ -166,6 +167,12 @@ func TestServiceDifferentialOracle(t *testing.T) {
 			}
 			if req.Warmup > 0 {
 				opts = append(opts, streamfetch.WithWarmup(req.Warmup))
+			}
+			if req.Warmup > 0 && req.Shards > 1 {
+				// The service runs warmed sharded jobs with warm-state
+				// checkpoints against its store; mirror that (on a fresh
+				// store, so the same all-miss pattern) for byte-identity.
+				opts = append(opts, streamfetch.WithCheckpoints(store.NewMem()))
 			}
 			want, err := direct.RunWith(context.Background(), opts...)
 			if err != nil {

@@ -46,6 +46,7 @@ import (
 	"streamfetch/internal/frontend"
 	"streamfetch/internal/layout"
 	"streamfetch/internal/sim"
+	"streamfetch/internal/store"
 	"streamfetch/internal/trace"
 	"streamfetch/internal/workload"
 )
@@ -133,6 +134,17 @@ type Session struct {
 	shards     int
 	warmup     uint64
 	coldShards bool
+
+	// ckptStore, when non-nil, caches warm-state checkpoints at interval
+	// boundaries: mid-trace shards and samples restore from it in
+	// O(state) instead of functionally replaying their prefix, and
+	// publish the checkpoint they produce on a miss.
+	ckptStore store.Store
+	// samples/sampleInsts configure sampled mode (WithSampling): K
+	// measure windows of sampleInsts instructions spread evenly over the
+	// trace, merged with a confidence interval instead of a full run.
+	samples     int
+	sampleInsts uint64
 
 	progressEvery uint64
 	onProgress    func(Progress)
@@ -355,6 +367,9 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	}
 	if run.key() != before {
 		run.prep = &prepared{}
+	}
+	if run.samples > 0 {
+		return run.runSampled(ctx)
 	}
 	if run.shards > 1 {
 		return run.runSharded(ctx)

@@ -13,16 +13,29 @@
 // figures (IPC, miss rates) carry cold-start error at each interval head,
 // which warmup shrinks. shards=1 with no warmup is byte-identical to a
 // plain Run.
+//
+// Warm-state checkpoints (WithCheckpoints) attack the remaining O(shards ×
+// prefix) term of functional warming: the warm microarchitectural state a
+// shard builds by replaying its prefix is serialized at the interval
+// boundary and stored content-addressed; the next run of the same boundary
+// restores it in O(state) and skips straight to the timed window. Sampled
+// runs (WithSampling) stack K short measure windows on the same executor
+// and report a confidence interval instead of simulating the whole trace.
 package streamfetch
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 
 	"streamfetch/internal/cfg"
+	"streamfetch/internal/ckpt"
+	"streamfetch/internal/frontend"
 	"streamfetch/internal/layout"
 	"streamfetch/internal/par"
 	"streamfetch/internal/sim"
+	"streamfetch/internal/store"
 	"streamfetch/internal/trace"
 )
 
@@ -50,12 +63,25 @@ func (s *Session) RunSharded(ctx context.Context, opts ...Option) (*Report, erro
 	return run.runSharded(ctx)
 }
 
+// intervalSpec positions one simulated interval in the trace: the
+// measure window [start, end) in CFG instructions, end == 0 meaning "to
+// the trace's end". index labels the interval in reports and progress.
+type intervalSpec struct {
+	index      int
+	start, end uint64
+}
+
 // shardOut is one interval's outcome.
 type shardOut struct {
 	res      sim.Result
 	start    uint64 // nominal measure-window start (CFG insts)
 	measured uint64
 	warm     uint64
+	// Checkpoint outcome for this interval: restored from the store
+	// (hit), or warmed functionally with checkpointing active (miss).
+	// Both false when checkpointing was off or inapplicable.
+	ckptHit  bool
+	ckptMiss bool
 }
 
 func (s *Session) runSharded(ctx context.Context) (*Report, error) {
@@ -103,14 +129,8 @@ func (s *Session) runSharded(ctx context.Context) (*Report, error) {
 		}
 		return b + r
 	}
-
-	outs := make([]*shardOut, nshards)
-	runErr := par.Do(ctx, nshards, true, func(i int) error {
-		src, err := s.newSource(prog)
-		if err != nil {
-			return err
-		}
-		start := bound(i)
+	specs := make([]intervalSpec, nshards)
+	for i := range specs {
 		end := bound(i + 1)
 		if i == nshards-1 && partTotal == total {
 			// The last interval runs to the trace's end: a seeded
@@ -118,40 +138,10 @@ func (s *Session) runSharded(ctx context.Context) (*Report, error) {
 			// and file totals are then covered exactly.
 			end = 0
 		}
-		iv, err := trace.NewInterval(src, prog, trace.IntervalConfig{
-			Start:  start,
-			End:    end,
-			Warmup: s.warmup,
-			// By default mid-trace shards replay their prefix functionally
-			// (caches and address generators warm at decode speed), so
-			// measured memory behaviour matches a single-shot run closely.
-			// WithColdShards trades that accuracy for O(interval) work per
-			// shard: the prefix is skipped outright (seeking through an
-			// indexed trace file, or fast-forwarding the CFG walk).
-			FuncWarm: !s.coldShards,
-		})
-		if err != nil {
-			src.Close()
-			return err
-		}
-		cfg := s.simConfig(ctx, lay, 0, partTotal, i, nshards)
-		proc, err := sim.New(lay, iv, cfg)
-		if err != nil {
-			iv.Close()
-			return err
-		}
-		res := proc.Run()
-		if err := iv.Close(); err != nil {
-			return fmt.Errorf("streamfetch: shard %d reading trace: %w", i, err)
-		}
-		outs[i] = &shardOut{
-			res:      res,
-			start:    start,
-			measured: iv.MeasuredInsts(),
-			warm:     iv.WarmupInsts(),
-		}
-		return nil
-	})
+		specs[i] = intervalSpec{index: i, start: bound(i), end: end}
+	}
+
+	outs, runErr := s.runIntervals(ctx, lay, prog, specs, partTotal, nshards)
 	rep := s.mergeShards(lay, nshards, outs)
 	if runErr != nil {
 		if rep == nil || ctx.Err() == nil {
@@ -168,14 +158,311 @@ func (s *Session) runSharded(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// mergeShards combines completed intervals into one report (nil when none
-// completed). Event counters merge losslessly; aggregate IPC is the merged
-// retired count over the merged cycle count. For a single unwarmed
-// interval the merged report is exactly the plain run's report: no shard
-// fields, byte-identical JSON.
-func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut) *Report {
+// runSampled executes the session in sampled mode (WithSampling): K
+// measure windows of sampleInsts instructions spread evenly across the
+// trace, each opened through the shared interval executor — so warmup,
+// functional warming and checkpoint restore all apply per window — and
+// merged into one report carrying an IPC confidence interval. The
+// windows tile a small fraction of the trace; everything between them
+// is never simulated, which is where the speedup comes from.
+func (s *Session) runSampled(ctx context.Context) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.sampleInsts == 0 {
+		return nil, fmt.Errorf("streamfetch: sampled runs need a positive window length (WithSampling)")
+	}
+	lay, err := s.ensure(ctx, s.layoutName)
+	if err != nil {
+		return nil, err
+	}
+	prog := s.prep.prog
+
+	total, err := s.traceTotal(prog)
+	if err != nil {
+		return nil, err
+	}
+	partTotal := total
+	if s.maxInsts > 0 && s.maxInsts < partTotal {
+		partTotal = s.maxInsts
+	}
+
+	var specs []intervalSpec
+	if partTotal == 0 || s.sampleInsts >= partTotal {
+		// The window covers the whole (or an unknown-length) trace:
+		// degenerate to one full interval; the CI is then zero.
+		end := uint64(0)
+		if partTotal < total {
+			end = partTotal
+		}
+		specs = []intervalSpec{{index: 0, start: 0, end: end}}
+	} else {
+		k := s.samples
+		if uint64(k) > partTotal/s.sampleInsts {
+			// Never let windows overlap: at most total/L disjoint
+			// windows exist.
+			k = int(partTotal / s.sampleInsts)
+		}
+		stride := partTotal / uint64(k)
+		// Center each window in its stride so the sample spreads evenly
+		// instead of clustering at stride heads.
+		offset := (stride - s.sampleInsts) / 2
+		specs = make([]intervalSpec, k)
+		for i := range specs {
+			start := uint64(i)*stride + offset
+			specs[i] = intervalSpec{index: i, start: start, end: start + s.sampleInsts}
+		}
+	}
+
+	outs, runErr := s.runIntervals(ctx, lay, prog, specs, partTotal, len(specs))
+	rep := s.mergeSamples(lay, len(specs), outs)
+	if runErr != nil {
+		if rep == nil || ctx.Err() == nil {
+			return nil, runErr
+		}
+		rep.Aborted = true
+		return rep, runErr
+	}
+	if rep.Aborted {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// runIntervals simulates the given intervals in parallel (up to the
+// process-wide worker budget). group is the interval count reported to
+// progress callbacks. outs[i] stays nil for intervals that did not
+// complete (cancellation).
+func (s *Session) runIntervals(ctx context.Context, lay *layout.Layout, prog *cfg.Program, specs []intervalSpec, partTotal uint64, group int) ([]*shardOut, error) {
+	outs := make([]*shardOut, len(specs))
+	err := par.Do(ctx, len(specs), true, func(i int) error {
+		out, err := s.runInterval(ctx, lay, prog, specs[i], partTotal, group)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	return outs, err
+}
+
+// runInterval simulates one trace interval. With checkpointing active
+// it first tries to open the interval's warm boundary from the store —
+// O(state) instead of O(prefix) — and on any miss (no blob, torn blob,
+// stale version, geometry or engine mismatch) falls back to functional
+// warming, capturing the warm state it builds and publishing it for the
+// next run of the same boundary.
+func (s *Session) runInterval(ctx context.Context, lay *layout.Layout, prog *cfg.Program, spec intervalSpec, partTotal uint64, group int) (*shardOut, error) {
+	// The checkpointable boundary: where functional warming would stop
+	// and the counters-frozen timed lead-in (WithWarmup) begins. A zero
+	// boundary means no functional-warming prefix exists — nothing to
+	// checkpoint. In-memory traces have no stable identity across runs
+	// and cold shards skip the prefix outright, so neither checkpoints.
+	boundary := uint64(0)
+	if spec.start > s.warmup {
+		boundary = spec.start - s.warmup
+	}
+	key := ""
+	useCkpt := false
+	if s.ckptStore != nil && !s.coldShards && s.traceData == nil && boundary > 0 {
+		key, useCkpt = s.ckptKey(lay, boundary)
+	}
+
+	if useCkpt {
+		out, err := s.runRestored(ctx, lay, prog, spec, key, boundary, partTotal, group)
+		if out != nil || err != nil {
+			return out, err
+		}
+		// Clean miss: warm functionally below and publish the result.
+	}
+
+	src, err := s.newSource(prog)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := trace.NewInterval(src, prog, trace.IntervalConfig{
+		Start:  spec.start,
+		End:    spec.end,
+		Warmup: s.warmup,
+		// By default mid-trace intervals replay their prefix functionally
+		// (caches and address generators warm at decode speed), so
+		// measured memory behaviour matches a single-shot run closely.
+		// WithColdShards trades that accuracy for O(interval) work per
+		// shard: the prefix is skipped outright (seeking through an
+		// indexed trace file, or fast-forwarding the CFG walk).
+		FuncWarm: !s.coldShards,
+	})
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	scfg := s.simConfig(ctx, lay, 0, partTotal, spec.index, group)
+	var snapshot []byte
+	if useCkpt {
+		scfg.OnWarmed = func(p *sim.Processor) {
+			ws, ok := p.Engine().(frontend.WarmStater)
+			if !ok {
+				return
+			}
+			snapshot = ckpt.Encode(nil, boundary, p.Hier(), p.Gen(),
+				p.Engine().Name(), ws.AppendWarmState(nil))
+		}
+	}
+	proc, err := sim.New(lay, iv, scfg)
+	if err != nil {
+		iv.Close()
+		return nil, err
+	}
+	res := proc.Run()
+	if err := iv.Close(); err != nil {
+		return nil, fmt.Errorf("streamfetch: shard %d reading trace: %w", spec.index, err)
+	}
+	if snapshot != nil && !res.Aborted {
+		// Publishing is best-effort: a full or failing store must not
+		// fail a run that already has its result.
+		_ = s.ckptStore.PutBlob(key, snapshot)
+	}
+	return &shardOut{
+		res:      res,
+		start:    spec.start,
+		measured: iv.MeasuredInsts(),
+		warm:     iv.WarmupInsts(),
+		ckptMiss: useCkpt,
+	}, nil
+}
+
+// runRestored attempts the checkpoint fast path for one interval: load
+// the boundary's snapshot, build the interval with functional warming
+// disabled (it skips straight to the boundary), restore the warm state
+// onto the fresh processor, and run. A (nil, nil) return is a clean
+// miss — the blob is absent, undecodable or for a different
+// configuration — sending the caller to the functional-warming path; a
+// non-nil error is fatal (it would fail that path identically).
+func (s *Session) runRestored(ctx context.Context, lay *layout.Layout, prog *cfg.Program, spec intervalSpec, key string, boundary uint64, partTotal uint64, group int) (*shardOut, error) {
+	blob, ok, err := s.ckptStore.GetBlob(key)
+	if err != nil || !ok {
+		return nil, nil
+	}
+	snap, err := ckpt.Decode(blob)
+	if err != nil || snap.Boundary != boundary {
+		return nil, nil
+	}
+	src, err := s.newSource(prog)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := trace.NewInterval(src, prog, trace.IntervalConfig{
+		Start:  spec.start,
+		End:    spec.end,
+		Warmup: s.warmup,
+		// No functional warming: the snapshot already holds the prefix's
+		// effect, so the interval seeks to the boundary and delivers only
+		// the timed lead-in (if any) and the measure window.
+		FuncWarm: false,
+	})
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	scfg := s.simConfig(ctx, lay, 0, partTotal, spec.index, group)
+	proc, err := sim.New(lay, iv, scfg)
+	if err != nil {
+		iv.Close()
+		return nil, err
+	}
+	ws, isWS := proc.Engine().(frontend.WarmStater)
+	if !isWS || proc.Engine().Name() != snap.EngineName ||
+		snap.Apply(proc.Hier(), proc.Gen()) != nil ||
+		ws.LoadWarmState(snap.Engine) != nil {
+		// Mismatch or partial restore: discard the whole processor (its
+		// state may be half-written) and fall back to functional
+		// warming. The source was not consumed before Run, so closing
+		// it is the only cleanup needed.
+		iv.Close()
+		return nil, nil
+	}
+	res := proc.Run()
+	if err := iv.Close(); err != nil {
+		return nil, fmt.Errorf("streamfetch: shard %d reading trace: %w", spec.index, err)
+	}
+	return &shardOut{
+		res:      res,
+		start:    spec.start,
+		measured: iv.MeasuredInsts(),
+		warm:     iv.WarmupInsts(),
+		ckptHit:  true,
+	}, nil
+}
+
+// ckptKeySpec is a checkpoint's canonical identity, hashed into its
+// store key. It covers every session input that shapes the warm state
+// at a boundary: the trace identity (benchmark, seeds, lengths, or the
+// trace file path), the code layout, the hierarchy geometry, the engine
+// and its options, and the boundary position itself. The format version
+// is included so a layout change retires old blobs wholesale.
+type ckptKeySpec struct {
+	Kind       string `json:"kind"`
+	Version    int    `json:"version"`
+	Benchmark  string `json:"benchmark"`
+	TraceFile  string `json:"trace_file,omitempty"`
+	Seed       uint64 `json:"seed"`
+	TrainSeed  uint64 `json:"train_seed"`
+	Insts      uint64 `json:"insts"`
+	TrainInsts uint64 `json:"train_insts"`
+	Layout     string `json:"layout"`
+	Width      int    `json:"width"`
+	LineBytes  int    `json:"line_bytes,omitempty"`
+	Engine     string `json:"engine"`
+	EngineOpts string `json:"engine_opts,omitempty"`
+	Boundary   uint64 `json:"boundary"`
+}
+
+// ckptKey derives the store key for this session's checkpoint at the
+// given boundary. The second return is false when the configuration has
+// no stable identity (unserializable engine options) and checkpointing
+// must stay off for the run.
+func (s *Session) ckptKey(lay *layout.Layout, boundary uint64) (string, bool) {
+	opts := ""
+	if s.engineOpts != nil {
+		b, err := json.Marshal(s.engineOpts)
+		if err != nil {
+			return "", false
+		}
+		opts = string(b)
+	}
+	train := s.trainInsts
+	if train == 0 {
+		// Normalize the lazy default (see ensure) so "default by
+		// omission" and "default spelled out" share checkpoints.
+		train = s.insts / 4
+	}
+	return store.Key(ckptKeySpec{
+		Kind:       "ckpt",
+		Version:    ckpt.Version,
+		Benchmark:  s.benchmark,
+		TraceFile:  s.traceFile,
+		Seed:       s.seed,
+		TrainSeed:  s.trainSeed,
+		Insts:      s.insts,
+		TrainInsts: train,
+		Layout:     lay.Name,
+		Width:      s.width,
+		LineBytes:  s.lineBytes,
+		Engine:     s.engine,
+		EngineOpts: opts,
+		Boundary:   boundary,
+	}), true
+}
+
+// mergeOuts combines completed intervals into one report (nil when none
+// completed) plus the per-interval rows. Event counters merge
+// losslessly; aggregate IPC is the merged retired count over the merged
+// cycle count.
+func (s *Session) mergeOuts(lay *layout.Layout, outs []*shardOut) (*Report, []IntervalReport) {
 	var agg sim.Counters
-	var traceInsts uint64
+	var traceInsts, hits, misses uint64
 	aborted := false
 	intervals := make([]IntervalReport, 0, len(outs))
 	done := 0
@@ -188,6 +475,12 @@ func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut)
 		traceInsts += o.measured
 		if o.res.Aborted {
 			aborted = true
+		}
+		if o.ckptHit {
+			hits++
+		}
+		if o.ckptMiss {
+			misses++
 		}
 		intervals = append(intervals, IntervalReport{
 			Index:          i,
@@ -203,7 +496,7 @@ func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut)
 		})
 	}
 	if done == 0 {
-		return nil
+		return nil, nil
 	}
 	res := sim.Result{
 		Engine:   s.engine,
@@ -215,12 +508,89 @@ func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut)
 	res.MispredRate = agg.MispredRate()
 	res.FetchIPC = agg.Fetch.FetchIPC()
 	rep := newReport(s.benchmark, lay, traceInsts, s.reportSeed(), res)
-	if nshards > 1 {
-		rep.Shards = nshards
-		rep.WarmupInsts = s.warmup
-		rep.Intervals = intervals
+	rep.CheckpointHits = hits
+	rep.CheckpointMisses = misses
+	return rep, intervals
+}
+
+// mergeShards lifts merged intervals into a sharded-run report. For a
+// single unwarmed interval the merged report is exactly the plain run's
+// report: no shard fields, byte-identical JSON.
+func (s *Session) mergeShards(lay *layout.Layout, nshards int, outs []*shardOut) *Report {
+	rep, intervals := s.mergeOuts(lay, outs)
+	if rep == nil || nshards <= 1 {
+		return rep
 	}
+	rep.Shards = nshards
+	rep.WarmupInsts = s.warmup
+	rep.Intervals = intervals
 	return rep
+}
+
+// mergeSamples lifts merged sample windows into a sampled-run report:
+// the merged counters are the estimate, and ipc_ci95 carries the 95%
+// confidence half-width on IPC from the per-window spread. TraceInsts
+// is the sampled coverage, not the full trace length — sampled reports
+// are estimates and say so through these fields.
+func (s *Session) mergeSamples(lay *layout.Layout, k int, outs []*shardOut) *Report {
+	rep, intervals := s.mergeOuts(lay, outs)
+	if rep == nil {
+		return nil
+	}
+	rep.Samples = k
+	rep.SampleInsts = s.sampleInsts
+	rep.WarmupInsts = s.warmup
+	rep.Intervals = intervals
+	rep.IPCCI95 = ipcCI95(outs)
+	return rep
+}
+
+// ipcCI95 is the 95% confidence half-width on IPC from the spread of
+// per-window IPC observations (Student's t on n-1 degrees of freedom).
+// Fewer than two observations give no spread estimate: 0.
+func ipcCI95(outs []*shardOut) float64 {
+	var ipcs []float64
+	for _, o := range outs {
+		if o == nil || o.res.Cycles == 0 {
+			continue
+		}
+		ipcs = append(ipcs, o.res.IPC)
+	}
+	n := len(ipcs)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range ipcs {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range ipcs {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return tCrit95(n-1) * sd / math.Sqrt(float64(n))
+}
+
+// tCrit95 is the two-sided 95% Student-t critical value for df degrees
+// of freedom, 1.96 asymptotically.
+func tCrit95(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+		2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+		2.048, 2.045, 2.042,
+	}
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	default:
+		return 1.96
+	}
 }
 
 // traceTotal returns the partition basis: the logical run's length in CFG
