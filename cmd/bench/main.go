@@ -75,6 +75,10 @@ type ShardPoint struct {
 	// workload (bounded by the machine's usable cores).
 	Speedup float64 `json:"speedup"`
 	IPC     float64 `json:"ipc"`
+	// Timings is the run's per-stage breakdown (warmup/measure summed
+	// across parallel intervals), showing where the sharded run's time
+	// actually goes as the shard count grows.
+	Timings *streamfetch.Timings `json:"timings,omitempty"`
 }
 
 // CkptPoint is the checkpoint-mode measurement: the same logical run
@@ -373,12 +377,13 @@ func measureShards(ctx context.Context, benchmark string, width int, insts uint6
 		rep, err := s.RunWith(ctx,
 			streamfetch.WithShards(n),
 			streamfetch.WithWarmup(insts/uint64(n)/20),
+			streamfetch.WithStageTimings(),
 		)
 		if err != nil {
 			return nil, err
 		}
 		secs := time.Since(start).Seconds()
-		p := ShardPoint{Shards: n, IPC: rep.IPC}
+		p := ShardPoint{Shards: n, IPC: rep.IPC, Timings: rep.Timings}
 		if secs > 0 {
 			p.SimInstsPerSec = float64(rep.Retired) / secs
 		}

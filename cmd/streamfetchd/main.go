@@ -27,7 +27,18 @@
 //	GET    /v1/runs/{id}  poll status/progress; carries the Report when done
 //	DELETE /v1/runs/{id}  cancel
 //	GET    /v1/engines    list engines, benchmarks and layouts
-//	GET    /healthz       queue depth, worker, pool and store metrics
+//	GET    /healthz       queue depth, worker, pool, store and SLO metrics
+//	GET    /metrics       Prometheus text exposition (stage latencies, counters)
+//
+// SLO scheduling: requests may carry priority (higher runs first) and
+// deadline_ms. The daemon keeps an online cost model of simulation
+// throughput per (engine, width, mode); a submission whose predicted
+// completion — queue-delay estimate plus predicted execution time —
+// cannot meet its deadline is shed up front with HTTP 422 and the
+// prediction in the body, instead of being accepted only to fail.
+// Accepted envelopes carry predicted_seconds and queue_delay_seconds,
+// and terminal envelopes a per-stage timing breakdown
+// (queue/prepare/warmup/measure/merge).
 //
 // On SIGINT/SIGTERM the daemon drains: new submissions get 503 while
 // queued and in-flight jobs finish (bounded by -drain, after which they

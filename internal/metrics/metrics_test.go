@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests served.", L("code", "200"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	g := r.Gauge("app_queue_depth", "Jobs queued.")
+	g.Set(7)
+	r.GaugeFunc("app_workers", "Worker count.", func() float64 { return 3 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.\n",
+		"# TYPE app_requests_total counter\n",
+		`app_requests_total{code="200"} 3` + "\n",
+		"# TYPE app_queue_depth gauge\n",
+		"app_queue_depth 7\n",
+		"app_workers 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1, 10}, L("stage", "measure"))
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`app_latency_seconds_bucket{stage="measure",le="0.1"} 2`,
+		`app_latency_seconds_bucket{stage="measure",le="1"} 3`,
+		`app_latency_seconds_bucket{stage="measure",le="10"} 4`,
+		`app_latency_seconds_bucket{stage="measure",le="+Inf"} 5`,
+		`app_latency_seconds_sum{stage="measure"} 55.65`,
+		`app_latency_seconds_count{stage="measure"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE app_latency_seconds histogram") != 1 {
+		t.Errorf("want exactly one TYPE line:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("app_info", "Info.", L("path", `C:\x "q"`+"\n")).Set(1)
+	out := render(t, r)
+	want := `app_info{path="C:\\x \"q\"\n"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}
+
+func TestSameSeriesReturned(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("app_total", "")
+	b := r.Counter("app_total", "")
+	a.Inc()
+	b.Inc()
+	out := render(t, r)
+	if !strings.Contains(out, "app_total 2\n") {
+		t.Errorf("series not shared:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP app_total") {
+		t.Errorf("empty help must not emit a HELP line:\n%s", out)
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, fn := range []func(){
+		func() { r.Counter("9bad", "") },
+		func() { r.Counter("has space", "") },
+		func() { r.Gauge("ok_name", "", L("0bad", "v")) },
+		func() { r.Gauge("ok_name2", "", L("", "v")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid name did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("type conflict did not panic")
+		}
+	}()
+	r.Gauge("app_x", "")
+}
+
+func TestSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("app_inf", "", func() float64 { return math.Inf(1) })
+	out := render(t, r)
+	if !strings.Contains(out, "app_inf +Inf\n") {
+		t.Errorf("missing +Inf rendering:\n%s", out)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_n_total", "")
+	h := r.Histogram("app_h_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	out := render(t, r)
+	for _, want := range []string{
+		"app_n_total 8000\n",
+		`app_h_seconds_bucket{le="1"} 8000`,
+		"app_h_seconds_count 8000\n",
+		"app_h_seconds_sum 4000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -29,8 +29,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math"
+
+	"streamfetch/internal/metrics"
 	"streamfetch/internal/par"
 	"streamfetch/internal/retry"
+	"streamfetch/internal/slo"
 	"streamfetch/internal/store"
 )
 
@@ -54,6 +58,24 @@ var (
 	errJobDeadline = errors.New("streamfetch: job deadline exceeded")
 	errJobStalled  = errors.New("streamfetch: job made no progress within the watchdog window")
 )
+
+// InfeasibleError sheds a submission whose deadline the daemon already
+// knows it cannot meet: the queue-delay estimate plus the cost model's
+// predicted execution time exceeds deadline_ms, so the job is rejected
+// up front (HTTP 422, prediction in the body) instead of accepted only
+// to fail at the deadline. Shed submissions are never journaled — no
+// durability promise was made.
+type InfeasibleError struct {
+	PredictedSeconds  float64 `json:"predicted_seconds"`
+	QueueDelaySeconds float64 `json:"queue_delay_seconds"`
+	DeadlineSeconds   float64 `json:"deadline_seconds"`
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf(
+		"streamfetch: deadline infeasible: predicted %.3fs + queue delay %.3fs exceeds deadline %.3fs",
+		e.PredictedSeconds, e.QueueDelaySeconds, e.DeadlineSeconds)
+}
 
 // GridCell is one (benchmark, layout, engine, width) outcome of RunGrid.
 // Report is nil when the cell failed (Error says why) or was never reached
@@ -105,6 +127,14 @@ func RunGrid(ctx context.Context, sessions []*Session, widths []int, layouts, en
 		rep, err := j.s.RunWith(ctx, runOpts...)
 		if err != nil {
 			cells[i].Error = err.Error()
+			// A cell that completed with an error is still a completed
+			// cell: it must tick the progress callback, or a sweep
+			// grinding through erroring cells looks stalled (the service
+			// watchdog would reap it) and cells_done can never reach
+			// cells_total.
+			if onCell != nil {
+				onCell(int(done.Add(1)), len(jobs))
+			}
 			return fmt.Errorf("%s/%s/%s w=%d: %w", j.s.Benchmark(), j.layout, j.engine, j.width, err)
 		}
 		cells[i].Report = rep
@@ -148,6 +178,20 @@ type RunRequest struct {
 	// one job (the first submitter's timeout governs it), and share
 	// cached results.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority is the job's scheduling class: higher runs first, equal
+	// priorities stay FIFO (0, the default, is the normal class; negative
+	// values queue behind it). Execution policy like TimeoutMS — excluded
+	// from the content key, and a coalesced submission inherits the
+	// leader's class.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is the SLO deadline in milliseconds from submission. A
+	// submission whose predicted completion (queue-delay estimate plus
+	// predicted execution cost, see the slo package) cannot meet it is
+	// shed up front with HTTP 422 carrying the prediction, instead of
+	// being accepted only to fail. Within the queue, tighter deadlines
+	// run first inside a priority class. 0 means no deadline. Execution
+	// policy: excluded from the content key.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 func (r *RunRequest) validate() error {
@@ -156,6 +200,9 @@ func (r *RunRequest) validate() error {
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMS)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("negative deadline_ms %d", r.DeadlineMS)
 	}
 	if !slices.Contains(Benchmarks(), r.Benchmark) {
 		return fmt.Errorf("unknown benchmark %q", r.Benchmark)
@@ -238,12 +285,20 @@ type SweepRequest struct {
 	// TimeoutMS bounds the whole sweep's execution time; see
 	// RunRequest.TimeoutMS for the semantics.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Priority and DeadlineMS are the sweep's scheduling class and SLO
+	// deadline; see the RunRequest fields of the same names. The deadline
+	// covers the whole grid (predicted cost sums over cells).
+	Priority   int   `json:"priority,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // normalize fills defaulted axes and validates every dimension value.
 func (r *SweepRequest) normalize() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMS)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("negative deadline_ms %d", r.DeadlineMS)
 	}
 	if len(r.Benchmarks) == 0 {
 		r.Benchmarks = Benchmarks()
@@ -575,6 +630,17 @@ type job struct {
 	timeout     time.Duration
 	lastAdvance atomic.Int64
 
+	// Admission policy and prediction, fixed at submit: the scheduling
+	// class and absolute SLO deadline ordering the queue (see jobOrder),
+	// the submission sequence breaking ties FIFO, and the cost model's
+	// predicted execution work-seconds plus the queue-delay estimate at
+	// acceptance (surfaced on the envelope).
+	priority      int
+	deadline      time.Time
+	seq           int
+	predictedSecs float64
+	queueDelay    float64
+
 	mu       sync.Mutex
 	state    JobState
 	enqueued time.Time
@@ -583,6 +649,9 @@ type job struct {
 	report   *Report
 	cells    []GridCell
 	err      error
+	// timings is the finished job's per-stage breakdown (cells summed for
+	// a sweep, queue wait included); set just before finish.
+	timings *Timings
 	// cached marks a job answered from the result cache (terminal at
 	// submission, never enqueued); userCancel distinguishes an explicit
 	// DELETE from a shutdown interruption — only the former journals a
@@ -673,14 +742,16 @@ func (j *job) envelope() *JobEnvelope {
 		return &env
 	}
 	env := &JobEnvelope{
-		ID:         j.id,
-		Kind:       j.kind,
-		State:      j.state,
-		Key:        j.key,
-		Cached:     j.cached,
-		EnqueuedAt: j.enqueued,
-		StartedAt:  j.started,
-		FinishedAt: j.finished,
+		ID:                j.id,
+		Kind:              j.kind,
+		State:             j.state,
+		Key:               j.key,
+		Cached:            j.cached,
+		EnqueuedAt:        j.enqueued,
+		StartedAt:         j.started,
+		FinishedAt:        j.finished,
+		PredictedSeconds:  j.predictedSecs,
+		QueueDelaySeconds: j.queueDelay,
 	}
 	if !j.started.IsZero() {
 		env.WaitSeconds = j.started.Sub(j.enqueued).Seconds()
@@ -693,6 +764,7 @@ func (j *job) envelope() *JobEnvelope {
 	if j.state.Terminal() {
 		env.Report = j.report
 		env.Cells = j.cells
+		env.Timings = j.timings
 		if j.err != nil {
 			env.Error = j.err.Error()
 		}
@@ -725,7 +797,17 @@ type jobManager struct {
 	baseCtx context.Context
 	stopAll context.CancelFunc
 
-	queue    chan *job
+	// queue orders admitted jobs by (priority, deadline, arrival);
+	// queueCap bounds admissions (the heap itself is unbounded so
+	// recovery and internal re-offers never block).
+	queue    *jobQueue
+	queueCap int
+	// admitting counts submissions that have reserved a queue slot but
+	// are still journaling outside the lock; the fullness check counts
+	// them so the capacity promise holds without holding m.mu across
+	// store I/O. Guarded by m.mu.
+	admitting int
+
 	slotFree chan struct{}  // pulsed when an extra job runner finishes
 	wg       sync.WaitGroup // dispatcher + spawned job runners
 
@@ -776,6 +858,23 @@ type jobManager struct {
 	ckptHits   atomic.Int64
 	ckptMisses atomic.Int64
 
+	// SLO admission: the online cost model predicting execution time per
+	// (engine, width, mode), the count of deadline-infeasible submissions
+	// shed up front, and the EWMA of |actual−predicted|/predicted over
+	// finished predicted jobs (smoothed the same way as the model's
+	// rates; pmu guards it).
+	slo  *slo.Model
+	shed atomic.Int64
+	pmu  sync.Mutex
+	// predErr < 0 means "no finished predicted job yet".
+	predErr float64
+
+	// met is the /metrics registry: scrape-time views over the counters
+	// above plus the stage-latency histograms fed by finished jobs.
+	met          *metrics.Registry
+	stageSeconds map[string]*metrics.Histogram
+	predErrGauge *metrics.Gauge
+
 	// runHook, when set, observes each job body that actually executes a
 	// simulation (test seam for coalescing/caching assertions: coalesced
 	// and cached submissions never trigger it). Set before any
@@ -815,11 +914,14 @@ func newJobManager(cfg serverConfig, st store.Store, ownStore bool) (*jobManager
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &jobManager{
-		workers:     workers,
-		retain:      retain,
-		baseCtx:     ctx,
-		stopAll:     cancel,
-		queue:       make(chan *job, max(queueDepth, pending)),
+		workers: workers,
+		retain:  retain,
+		baseCtx: ctx,
+		stopAll: cancel,
+		queue:   newJobQueue(),
+		// Sized to hold the full recovery debt even when it exceeds
+		// queueDepth, so a restart never drops journaled work.
+		queueCap:    max(queueDepth, pending),
 		slotFree:    make(chan struct{}, 1),
 		jobs:        map[string]*job{},
 		inflight:    map[string]*job{},
@@ -829,7 +931,10 @@ func newJobManager(cfg serverConfig, st store.Store, ownStore bool) (*jobManager
 		watchdog:    cfg.watchdog,
 		probeEvery:  probeEvery,
 		retryPolicy: retry.Default(),
+		slo:         slo.NewModel(),
+		predErr:     -1,
 	}
+	m.initMetrics()
 	m.sessions.cap = cfg.sessionCap
 	for _, rec := range recs {
 		m.restore(rec)
@@ -895,16 +1000,19 @@ func (m *jobManager) restore(rec store.JournalRecord) {
 	}
 
 	var build func(*job) jobFunc
+	var pol jobPolicy
 	switch rec.Kind {
 	case "run":
 		var req RunRequest
 		if json.Unmarshal(rec.Request, &req) == nil && req.validate() == nil {
 			build = m.runJobFunc(req)
+			pol = m.runPolicy(&req, rec.Time)
 		}
 	case "sweep":
 		var req SweepRequest
 		if json.Unmarshal(rec.Request, &req) == nil && req.normalize() == nil {
 			build = m.sweepJobFunc(req)
+			pol = m.sweepPolicy(&req, rec.Time)
 		}
 	}
 	ctx, abort := context.WithCancelCause(m.baseCtx)
@@ -919,6 +1027,17 @@ func (m *jobManager) restore(rec store.JournalRecord) {
 		cancel:   func() { abort(context.Canceled) },
 		abort:    abort,
 		done:     make(chan struct{}),
+		// Recovered jobs keep their journaled policy: the original
+		// priority, the deadline anchored at the original submission
+		// time (an already-blown deadline just sorts first and runs —
+		// the job was accepted; recovery must not shed it), and the
+		// original arrival order via the id sequence.
+		priority:      pol.priority,
+		deadline:      pol.deadline,
+		predictedSecs: pol.predicted,
+	}
+	if n, ok := jobSeq(rec.ID); ok {
+		j.seq = n
 	}
 	if build == nil {
 		// The journaled request no longer parses or validates (schema
@@ -939,7 +1058,7 @@ func (m *jobManager) restore(rec store.JournalRecord) {
 	if rec.Key != "" {
 		m.inflight[rec.Key] = j
 	}
-	m.queue <- j // sized for the full recovery debt; cannot block
+	m.queue.push(j)
 }
 
 // closedChan returns an already-closed done channel for jobs that are
@@ -1037,12 +1156,132 @@ func (m *jobManager) journal(j *job, state JobState) {
 	m.storeWrite(func() error { return m.store.Journal(rec) })
 }
 
+// jobPolicy is a submission's execution policy resolved at admission:
+// scheduling class, absolute SLO deadline (zero = none) and the cost
+// model's predicted execution work-seconds.
+type jobPolicy struct {
+	priority  int
+	deadline  time.Time
+	predicted float64
+}
+
+// sloKey buckets the request for the cost model: engine, width and
+// execution shape, with the session defaults resolved.
+func (r *RunRequest) sloKey() slo.Key {
+	mode := slo.ModePlain
+	switch {
+	case r.Samples > 0:
+		mode = slo.ModeSampled
+	case r.Shards > 1:
+		mode = slo.ModeSharded
+	}
+	return slo.Key{
+		Engine: cmp.Or(r.Engine, defaultEngine),
+		Width:  cmp.Or(r.Width, defaultWidth),
+		Mode:   mode,
+	}
+}
+
+// workInsts estimates how many instructions the run will simulate: the
+// trace length, cut by max_insts, or the sampled windows' coverage
+// (lead-ins included) for sampled runs.
+func (r *RunRequest) workInsts() uint64 {
+	n := r.prepSpec().insts
+	if r.MaxInsts > 0 && r.MaxInsts < n {
+		n = r.MaxInsts
+	}
+	if r.Samples > 0 {
+		if w := uint64(r.Samples) * (r.SampleInsts + r.Warmup); w < n {
+			n = w
+		}
+	}
+	return n
+}
+
+// runPolicy resolves a run submission's admission policy at time at.
+func (m *jobManager) runPolicy(r *RunRequest, at time.Time) jobPolicy {
+	pol := jobPolicy{
+		priority:  r.Priority,
+		predicted: m.slo.Predict(r.sloKey(), r.workInsts()),
+	}
+	if r.DeadlineMS > 0 {
+		pol.deadline = at.Add(msToDuration(r.DeadlineMS))
+	}
+	return pol
+}
+
+// sweepPolicy resolves a sweep's admission policy: predicted cost sums
+// over the grid's cells (serial work-seconds — a conservative bound; the
+// queue-delay estimate is what accounts for worker parallelism). r must
+// be normalized.
+func (m *jobManager) sweepPolicy(r *SweepRequest, at time.Time) jobPolicy {
+	mode := slo.ModePlain
+	if r.Shards > 1 {
+		mode = slo.ModeSharded
+	}
+	var total float64
+	for _, b := range r.Benchmarks {
+		n := r.prepSpec(b).insts
+		if r.MaxInsts > 0 && r.MaxInsts < n {
+			n = r.MaxInsts
+		}
+		for _, e := range r.Engines {
+			for _, w := range r.Widths {
+				total += m.slo.Predict(slo.Key{Engine: e, Width: w, Mode: mode}, n) *
+					float64(len(r.Layouts))
+			}
+		}
+	}
+	pol := jobPolicy{priority: r.Priority, predicted: total}
+	if r.DeadlineMS > 0 {
+		pol.deadline = at.Add(msToDuration(r.DeadlineMS))
+	}
+	return pol
+}
+
+// queueEstimateLocked sums the predicted backlog: full predicted cost
+// for queued jobs, the predicted remainder for running ones. delay is
+// the backlog spread over the worker pool — the expected wait a new
+// submission sees. Callers hold m.mu.
+func (m *jobManager) queueEstimateLocked() (backlog, delay float64) {
+	now := time.Now()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case JobQueued:
+			backlog += j.predictedSecs
+		case JobRunning:
+			if rem := j.predictedSecs - now.Sub(j.started).Seconds(); rem > 0 {
+				backlog += rem
+			}
+		}
+		j.mu.Unlock()
+	}
+	return backlog, backlog / float64(max(m.workers, 1))
+}
+
+// queueEstimate is queueEstimateLocked for callers not holding m.mu.
+func (m *jobManager) queueEstimate() (backlog, delay float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queueEstimateLocked()
+}
+
 // submit accepts one job: answered from the result cache (terminal
 // immediately, never enqueued), coalesced onto an identical in-flight
 // job (same job returned), or journaled and enqueued as a fresh job —
-// rejecting when draining or full. build receives the job so run
-// closures can reference it for progress reporting.
-func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) jobFunc) (*job, error) {
+// rejecting when draining, deadline-infeasible or full. build receives
+// the job so run closures can reference it for progress reporting.
+//
+// Store writes happen outside m.mu: the journal retries with backoff
+// when the store misbehaves, and holding the registry lock across that
+// would convoy every poll, cancel and /healthz behind disk I/O. The
+// queue-capacity promise survives the unlock through the admitting
+// reservation; the cost is a small window where an identical twin
+// submitted mid-journal starts its own job instead of coalescing
+// (benign: both run, persist's inflight guard keeps the registry
+// consistent).
+func (m *jobManager) submit(kind, key string, reqJSON []byte, pol jobPolicy, build func(*job) jobFunc) (*job, error) {
 	// Cache lookup outside the registry lock: blob reads may touch disk.
 	var cachedBlob []byte
 	if key != "" {
@@ -1052,8 +1291,8 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.draining {
+		m.mu.Unlock()
 		return nil, ErrDraining
 	}
 	if leader := m.inflight[key]; leader != nil && key != "" {
@@ -1061,10 +1300,12 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 		// of the result. The submitter shares the leader's id (and its
 		// cancellation — DELETE cancels for every submitter).
 		m.coalesced.Add(1)
+		m.mu.Unlock()
 		return leader, nil
 	}
 	m.nextID++
-	id := fmt.Sprintf("%s-%06d", kind, m.nextID)
+	seq := m.nextID
+	id := fmt.Sprintf("%s-%06d", kind, seq)
 
 	if cachedBlob != nil {
 		if j := m.cachedJob(id, kind, key, cachedBlob); j != nil {
@@ -1072,64 +1313,133 @@ func (m *jobManager) submit(kind, key string, reqJSON []byte, build func(*job) j
 			m.jobs[id] = j
 			m.done = append(m.done, id)
 			m.trimDoneLocked()
+			m.mu.Unlock()
 			m.journal(j, JobDone) // restarts keep serving it
 			return j, nil
 		}
 	}
 
-	ctx, abort := context.WithCancelCause(m.baseCtx)
-	j := &job{
-		id:       id,
-		kind:     kind,
-		key:      key,
-		reqJSON:  reqJSON,
-		state:    JobQueued,
-		enqueued: time.Now(),
-		ctx:      ctx,
-		cancel:   func() { abort(context.Canceled) },
-		abort:    abort,
-		done:     make(chan struct{}),
+	// Admission control: a deadline the daemon already knows it cannot
+	// meet is shed now — before any durability promise — with the
+	// prediction in the error. An accepted-then-failed deadline would
+	// cost a queue slot, a journal record and a simulation for nothing.
+	_, delay := m.queueEstimateLocked()
+	if !pol.deadline.IsZero() {
+		deadlineSecs := time.Until(pol.deadline).Seconds()
+		if delay+pol.predicted > deadlineSecs {
+			m.shed.Add(1)
+			m.mu.Unlock()
+			return nil, &InfeasibleError{
+				PredictedSeconds:  pol.predicted,
+				QueueDelaySeconds: delay,
+				DeadlineSeconds:   deadlineSecs,
+			}
+		}
 	}
-	j.run = build(j)
+
 	// Only this lock admits producers, so a spot measured now cannot be
-	// taken by anyone else; the dispatcher only drains. Checking before
-	// journaling keeps rejected submissions out of the journal — a
-	// journaled job is a promise to run it.
-	if len(m.queue) >= cap(m.queue) {
-		j.cancel()
+	// taken by anyone else; the dispatcher only drains. admitting covers
+	// submissions journaling outside the lock below — reserved but not
+	// yet queued. Checking before journaling keeps rejected submissions
+	// out of the journal: a journaled job is a promise to run it.
+	if m.queue.len()+m.admitting >= m.queueCap {
+		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	if m.degraded.Load() {
+	m.admitting++
+	degraded := m.degraded.Load()
+	m.mu.Unlock()
+
+	ctx, abort := context.WithCancelCause(m.baseCtx)
+	j := &job{
+		id:            id,
+		kind:          kind,
+		key:           key,
+		reqJSON:       reqJSON,
+		state:         JobQueued,
+		enqueued:      time.Now(),
+		ctx:           ctx,
+		cancel:        func() { abort(context.Canceled) },
+		abort:         abort,
+		done:          make(chan struct{}),
+		priority:      pol.priority,
+		deadline:      pol.deadline,
+		seq:           seq,
+		predictedSecs: pol.predicted,
+		queueDelay:    delay,
+	}
+	j.run = build(j)
+
+	var storeErr error
+	if degraded {
 		// Degraded mode, already declared on /healthz: accept from memory
 		// without the journal write that would fail anyway. Availability
 		// over durability — the job will not survive a restart. The probe
 		// (and every later store write) keeps testing for recovery.
-	} else if err := m.storeWrite(func() error {
-		return m.store.Journal(store.JournalRecord{
-			ID: id, Kind: kind, Key: key, State: string(JobQueued),
-			Time: j.enqueued, Request: reqJSON,
+	} else {
+		storeErr = m.storeWrite(func() error {
+			return m.store.Journal(store.JournalRecord{
+				ID: id, Kind: kind, Key: key, State: string(JobQueued),
+				Time: j.enqueued, Request: reqJSON,
+			})
 		})
-	}); err != nil {
+	}
+
+	m.mu.Lock()
+	m.admitting--
+	if storeErr != nil {
 		// The 202 is a durability promise; without the journal record the
 		// job would silently vanish in a crash. Refuse this one — the
 		// failure flipped the server degraded, so the next submission is
 		// accepted memory-only under the declared policy.
+		m.mu.Unlock()
 		j.cancel()
-		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		return nil, fmt.Errorf("%w: %v", ErrStore, storeErr)
 	}
-	m.queue <- j
+	if m.draining {
+		// Drain flipped during the journaling window: this process will
+		// never run the job. Refuse the submission and retract the queued
+		// journal record with a terminal cancelled one, so a restart does
+		// not resurrect a job whose submitter was told no.
+		m.mu.Unlock()
+		j.cancel()
+		j.mu.Lock()
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.err = ErrDraining
+		j.mu.Unlock()
+		close(j.done)
+		if !degraded {
+			m.journal(j, JobCancelled)
+		}
+		return nil, ErrDraining
+	}
 	m.jobs[id] = j
 	if key != "" {
 		m.inflight[key] = j
 	}
 	m.misses.Add(1)
+	m.mu.Unlock()
+	m.queue.push(j)
 	return j, nil
+}
+
+// msToDuration converts validated (non-negative) milliseconds to a
+// Duration, saturating instead of overflowing: time.Duration(ms) *
+// time.Millisecond wraps negative past ~9.2e12 ms, which would read as
+// "tighter than any cap" in one place and "unbounded" in another.
+func msToDuration(ms int64) time.Duration {
+	const maxMS = int64(math.MaxInt64) / int64(time.Millisecond)
+	if ms > maxMS {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // effTimeout resolves a request's timeout_ms against the server cap: the
 // tighter of the two wins; 0 means unbounded.
 func (m *jobManager) effTimeout(ms int64) time.Duration {
-	d := time.Duration(ms) * time.Millisecond
+	d := msToDuration(ms)
 	if m.maxJobTime > 0 && (d == 0 || d > m.maxJobTime) {
 		d = m.maxJobTime
 	}
@@ -1156,7 +1466,8 @@ func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
 				h("run")
 			}
 			sess := m.sessions.get(req.prepSpec())
-			opts := append(req.runOptions(), WithProgress(0, j.noteProgress))
+			opts := append(req.runOptions(),
+				WithProgress(0, j.noteProgress), WithStageTimings())
 			if m.useCheckpoints(req.Warmup, req.Shards, req.Samples) {
 				opts = append(opts, WithCheckpoints(m.store))
 			}
@@ -1164,6 +1475,12 @@ func (m *jobManager) runJobFunc(req RunRequest) func(*job) jobFunc {
 			if rep != nil {
 				m.ckptHits.Add(int64(rep.CheckpointHits))
 				m.ckptMisses.Add(int64(rep.CheckpointMisses))
+			}
+			// Feed the cost model with the measured rate so the next
+			// prediction for this (engine, width, mode) reflects this
+			// machine. Aborted or failed runs are not representative.
+			if err == nil && rep != nil && !rep.Aborted && rep.Timings != nil {
+				m.slo.Observe(req.sloKey(), rep.Retired, rep.Timings.workSeconds())
 			}
 			return rep, nil, err
 		}
@@ -1185,16 +1502,27 @@ func (m *jobManager) sweepJobFunc(req SweepRequest) func(*job) jobFunc {
 			for i, b := range req.Benchmarks {
 				sessions[i] = m.sessions.get(req.prepSpec(b))
 			}
-			cellOpts := req.cellOptions()
+			cellOpts := append(req.cellOptions(), WithStageTimings())
 			if m.useCheckpoints(req.Warmup, req.Shards, 0) {
 				cellOpts = append(cellOpts, WithCheckpoints(m.store))
 			}
 			cells, err := RunGrid(ctx, sessions, req.Widths, req.Layouts, req.Engines,
 				true, j.noteCell, cellOpts...)
+			mode := slo.ModePlain
+			if req.Shards > 1 {
+				mode = slo.ModeSharded
+			}
 			for _, c := range cells {
 				if c.Report != nil {
 					m.ckptHits.Add(int64(c.Report.CheckpointHits))
 					m.ckptMisses.Add(int64(c.Report.CheckpointMisses))
+					// Each completed cell is one observation for its own
+					// (engine, width) bucket — a sweep trains the model
+					// across the whole grid in one job.
+					if c.Report.Timings != nil && !c.Report.Aborted && c.Error == "" {
+						m.slo.Observe(slo.Key{Engine: c.Engine, Width: c.Width, Mode: mode},
+							c.Report.Retired, c.Report.Timings.workSeconds())
+					}
 				}
 			}
 			return nil, cells, err
@@ -1211,7 +1539,8 @@ func (m *jobManager) newRunJob(req RunRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.submit("run", req.contentKey(), reqJSON, m.runJobFunc(req))
+	return m.submit("run", req.contentKey(), reqJSON,
+		m.runPolicy(&req, time.Now()), m.runJobFunc(req))
 }
 
 // newSweepJob validates and submits a grid sweep as one job.
@@ -1223,7 +1552,8 @@ func (m *jobManager) newSweepJob(req SweepRequest) (*job, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.submit("sweep", req.contentKey(), reqJSON, m.sweepJobFunc(req))
+	return m.submit("sweep", req.contentKey(), reqJSON,
+		m.sweepPolicy(&req, time.Now()), m.sweepJobFunc(req))
 }
 
 // get returns a job by id (nil when unknown).
@@ -1349,10 +1679,15 @@ func (m *jobManager) counts() (queued, running, terminal int) {
 	return
 }
 
-// dispatch drains the queue, placing each job on a worker.
+// dispatch drains the queue in priority order, placing each job on a
+// worker.
 func (m *jobManager) dispatch() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.queue.pop()
+		if !ok {
+			return
+		}
 		m.place(j)
 	}
 }
@@ -1369,6 +1704,11 @@ func (m *jobManager) dispatch() {
 // mid-job by a shard fan-out) and retries.
 func (m *jobManager) place(j *job) {
 	for {
+		// While waiting for capacity the dispatcher holds j outside the
+		// queue; a higher-priority arrival must not wait behind it. Each
+		// pass re-offers the held job: if something now orders ahead of
+		// it, run that instead and re-queue j (swap is a no-op otherwise).
+		j = m.queue.swap(j)
 		select {
 		case <-j.done:
 			return // cancelled while queued: don't wait for capacity
@@ -1419,6 +1759,9 @@ func (m *jobManager) runJob(j *job) {
 		defer stop()
 	}
 	rep, cells, err := m.guardedRun(j, runCtx)
+	// Timings go on the job before finish so the terminal envelope — and
+	// the journal record persist writes from it — carries them.
+	j.setTimings(buildTimings(j, rep, cells))
 	switch {
 	case err == nil:
 		j.finish(JobDone, rep, cells, nil)
@@ -1439,8 +1782,80 @@ func (m *jobManager) runJob(j *job) {
 	default:
 		j.finish(JobFailed, rep, cells, err)
 	}
+	m.observeFinished(j)
 	m.persist(j)
 	m.retire(j)
+}
+
+// buildTimings assembles a finished job's per-stage breakdown: the run
+// report's stage timings (or the sum over sweep cells) plus the queue
+// wait the daemon itself measured.
+func buildTimings(j *job, rep *Report, cells []GridCell) *Timings {
+	tm := &Timings{}
+	if rep != nil {
+		tm.Add(rep.Timings)
+	}
+	for _, c := range cells {
+		if c.Report != nil {
+			tm.Add(c.Report.Timings)
+		}
+	}
+	j.mu.Lock()
+	if !j.started.IsZero() {
+		tm.QueueSeconds = j.started.Sub(j.enqueued).Seconds()
+	}
+	j.mu.Unlock()
+	return tm
+}
+
+func (j *job) setTimings(tm *Timings) {
+	j.mu.Lock()
+	j.timings = tm
+	j.mu.Unlock()
+}
+
+// observeFinished feeds a terminal job into the /metrics surface: stage
+// latencies into the histograms, and — for completed predicted jobs —
+// the relative prediction error into its EWMA gauge.
+func (m *jobManager) observeFinished(j *job) {
+	j.mu.Lock()
+	tm := j.timings
+	state := j.state
+	predicted := j.predictedSecs
+	j.mu.Unlock()
+	if tm == nil {
+		return
+	}
+	for stage, v := range map[string]float64{
+		"queue":   tm.QueueSeconds,
+		"prepare": tm.PrepareSeconds,
+		"warmup":  tm.WarmupSeconds,
+		"measure": tm.MeasureSeconds,
+		"merge":   tm.MergeSeconds,
+	} {
+		if h := m.stageSeconds[stage]; h != nil {
+			h.Observe(v)
+		}
+	}
+	if state != JobDone || predicted <= 0 {
+		return
+	}
+	actual := tm.workSeconds()
+	if actual <= 0 {
+		return
+	}
+	ratio := math.Abs(actual-predicted) / predicted
+	m.pmu.Lock()
+	if m.predErr < 0 {
+		m.predErr = ratio
+	} else {
+		m.predErr = 0.3*ratio + 0.7*m.predErr
+	}
+	v := m.predErr
+	m.pmu.Unlock()
+	if m.predErrGauge != nil {
+		m.predErrGauge.Set(v)
+	}
 }
 
 // guardedRun invokes the job body, converting a panic on this goroutine
@@ -1523,7 +1938,7 @@ func (m *jobManager) shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		m.queue.close()
 	}
 	m.mu.Unlock()
 	done := make(chan struct{})

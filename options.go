@@ -163,6 +163,16 @@ func WithICacheLineBytes(n int) Option {
 	return func(s *Session) { s.lineBytes = n }
 }
 
+// WithStageTimings opts runs into per-stage wall-clock collection: the
+// Report carries a Timings breakdown (prepare/warmup/measure/merge;
+// queue is filled by the daemon). Off by default — timings are
+// wall-clock telemetry, so enabling them makes otherwise byte-identical
+// reports differ, which is why golden-pinned direct runs leave this off
+// while streamfetchd turns it on for every job it executes.
+func WithStageTimings() Option {
+	return func(s *Session) { s.stageTimings = true }
+}
+
 // WithProgress installs a progress callback invoked roughly every `every`
 // retired instructions (0 = 65536). Long sweeps use it for liveness
 // reporting; cancellation comes from the Run context.

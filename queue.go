@@ -1,0 +1,120 @@
+// The admission queue for streamfetchd jobs: a priority queue ordered by
+// (priority class, earliest deadline, arrival), replacing the FIFO
+// channel so a high-priority or deadline-tight submission overtakes the
+// backlog instead of waiting out every job ahead of it.
+package streamfetch
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobOrder sorts a heap of queued jobs: higher priority class first,
+// then earliest absolute deadline (no deadline sorts after every
+// deadline), then submission order — so equal-policy jobs stay FIFO and
+// the queue degenerates to exactly the old behavior when nobody sets
+// priority or deadline_ms.
+type jobOrder []*job
+
+func (q jobOrder) Len() int { return len(q) }
+
+func (q jobOrder) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if !a.deadline.Equal(b.deadline) {
+		if a.deadline.IsZero() {
+			return false
+		}
+		if b.deadline.IsZero() {
+			return true
+		}
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq
+}
+
+func (q jobOrder) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobOrder) Push(x any) { *q = append(*q, x.(*job)) }
+
+func (q *jobOrder) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// jobQueue is the blocking priority queue between submit and the
+// dispatcher. close only ends pop's blocking: jobs already queued keep
+// draining (shutdown's "queued jobs complete" promise), and internal
+// re-offers (see place) still push after close.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobOrder
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(j *job) {
+	q.mu.Lock()
+	heap.Push(&q.heap, j)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks for the highest-priority job; (nil, false) once the queue
+// is closed and drained.
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*job), true
+}
+
+// swap re-offers held against the queue: when a better-ordered job has
+// arrived since held was popped, held goes back into the heap and the
+// better job is returned. The dispatcher calls this while waiting for
+// capacity, so the job it holds hostage cannot starve a later
+// higher-priority arrival.
+func (q *jobQueue) swap(held *job) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.heap) == 0 {
+		return held
+	}
+	pair := jobOrder{q.heap[0], held}
+	if !pair.Less(0, 1) {
+		return held
+	}
+	top := heap.Pop(&q.heap).(*job)
+	heap.Push(&q.heap, held)
+	return top
+}
+
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -85,6 +85,60 @@ type Report struct {
 	Samples     int     `json:"samples,omitempty"`
 	SampleInsts uint64  `json:"sample_insts,omitempty"`
 	IPCCI95     float64 `json:"ipc_ci95,omitempty"`
+
+	// Timings carries the run's per-stage wall clock when the session
+	// opted in via WithStageTimings — wall-clock telemetry, not result
+	// identity: two runs of one configuration share a content key and
+	// differ here, like the checkpoint counters above. nil (and absent
+	// from JSON) when timing was off, which keeps default runs
+	// byte-identical to their golden reports.
+	Timings *Timings `json:"timings,omitempty"`
+}
+
+// Timings is the per-stage wall-clock breakdown of one run or job,
+// designed to land in CSVs and JSON dashboards as-is. Queue is filled by
+// the daemon (time between acceptance and start); the session fills the
+// rest. Warmup and Measure are summed across a sharded run's parallel
+// intervals — per-stage work-seconds, not elapsed wall time — so the
+// attribution stays meaningful whatever the parallelism. For a
+// checkpoint-restored or unwarmed interval the whole simulation counts
+// as Measure.
+type Timings struct {
+	PrepareSeconds float64 `json:"prepare_seconds,omitempty"`
+	QueueSeconds   float64 `json:"queue_seconds,omitempty"`
+	WarmupSeconds  float64 `json:"warmup_seconds,omitempty"`
+	MeasureSeconds float64 `json:"measure_seconds,omitempty"`
+	MergeSeconds   float64 `json:"merge_seconds,omitempty"`
+}
+
+// Add accumulates o into t (used to aggregate sweep cells).
+func (t *Timings) Add(o *Timings) {
+	if o == nil {
+		return
+	}
+	t.PrepareSeconds += o.PrepareSeconds
+	t.QueueSeconds += o.QueueSeconds
+	t.WarmupSeconds += o.WarmupSeconds
+	t.MeasureSeconds += o.MeasureSeconds
+	t.MergeSeconds += o.MergeSeconds
+}
+
+// workSeconds is the simulation work the SLO cost model predicts:
+// warming plus measuring, excluding preparation (amortized by the
+// session cache) and queueing.
+func (t *Timings) workSeconds() float64 {
+	return t.WarmupSeconds + t.MeasureSeconds
+}
+
+// TimingsCSVHeader is the column header matching Timings.CSVRow.
+func TimingsCSVHeader() string {
+	return "prepare_seconds,queue_seconds,warmup_seconds,measure_seconds,merge_seconds"
+}
+
+// CSVRow renders the stages as one CSV row in header order.
+func (t *Timings) CSVRow() string {
+	return fmt.Sprintf("%.6f,%.6f,%.6f,%.6f,%.6f",
+		t.PrepareSeconds, t.QueueSeconds, t.WarmupSeconds, t.MeasureSeconds, t.MergeSeconds)
 }
 
 // IntervalReport is one trace interval of a sharded run.
@@ -224,6 +278,17 @@ type JobEnvelope struct {
 	// execution time (start → finish, or → now while running).
 	WaitSeconds float64 `json:"wait_seconds,omitempty"`
 	RunSeconds  float64 `json:"run_seconds,omitempty"`
+
+	// SLO admission surface: the cost model's predicted execution
+	// work-seconds for this job and the queue-delay estimate at the
+	// moment it was accepted (see the slo package). Zero — and absent —
+	// for cached answers and journal-restored envelopes.
+	PredictedSeconds  float64 `json:"predicted_seconds,omitempty"`
+	QueueDelaySeconds float64 `json:"queue_delay_seconds,omitempty"`
+
+	// Timings is the finished job's per-stage breakdown (cells summed
+	// for a sweep), including the queue stage only the daemon can see.
+	Timings *Timings `json:"timings,omitempty"`
 
 	Progress *JobProgress `json:"progress,omitempty"`
 	Report   *Report      `json:"report,omitempty"`

@@ -9,10 +9,13 @@
 //	DELETE /v1/runs/{id}   cancel a job                 → 200 JobEnvelope
 //	GET    /v1/engines     axes: engines, benchmarks, layouts
 //	GET    /healthz        queue, worker, pool and store metrics
+//	GET    /metrics        Prometheus text exposition
 //
 // (/v1/sweeps/{id} is an alias for /v1/runs/{id}: every job lives in one
-// registry.) Submissions during shutdown get 503, a full queue 429, and
-// both carry a JSON {"error": ...} body.
+// registry.) Submissions during shutdown get 503, a full queue 429, a
+// deadline the server predicts it cannot meet 422 (the body carries the
+// prediction; see RunRequest.DeadlineMS), and all carry a JSON
+// {"error": ...} body.
 //
 // Runs are deterministic for a fixed configuration and seed, so the
 // service answers repeats instead of recomputing them: a submission whose
@@ -36,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"streamfetch/internal/metrics"
 	"streamfetch/internal/par"
 	"streamfetch/internal/store"
 )
@@ -90,6 +94,7 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -147,6 +152,16 @@ type Health struct {
 	QueueDepth int    `json:"queue_depth"`
 	QueueCap   int    `json:"queue_cap"`
 	Workers    int    `json:"workers"`
+
+	// The SLO surface: PredictedBacklogSeconds sums the cost model's
+	// predicted execution work-seconds over queued and running jobs;
+	// QueueDelaySeconds spreads that over the workers — the wait a new
+	// submission should expect, and the figure admission control holds
+	// against deadline_ms. JobsShed counts submissions rejected up front
+	// as deadline-infeasible.
+	PredictedBacklogSeconds float64 `json:"predicted_backlog_seconds"`
+	QueueDelaySeconds       float64 `json:"queue_delay_seconds"`
+	JobsShed                int64   `json:"jobs_shed,omitempty"`
 
 	JobsQueued   int `json:"jobs_queued"`
 	JobsRunning  int `json:"jobs_running"`
@@ -211,8 +226,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if m.draining {
 		status = "draining"
 	}
-	depth := len(m.queue)
-	capQ := cap(m.queue)
+	depth := m.queue.len() + m.admitting
+	capQ := m.queueCap
+	backlog, delay := m.queueEstimateLocked()
 	m.mu.Unlock()
 	queued, running, finished := m.counts()
 	// A stats failure (e.g. the store dir vanished) degrades the store
@@ -231,32 +247,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, Health{
-		Status:             status,
-		QueueDepth:         depth,
-		QueueCap:           capQ,
-		Workers:            m.workers,
-		JobsQueued:         queued,
-		JobsRunning:        running,
-		JobsFinished:       finished,
-		Sessions:           m.sessions.size(),
-		SessionCap:         m.sessions.capacity(),
-		ParInUse:           par.InUse(),
-		ParBudget:          par.Budget(),
-		Store:              m.store.Name(),
-		StoreHits:          m.hits.Load(),
-		StoreMisses:        m.misses.Load(),
-		StoreCoalesced:     m.coalesced.Load(),
-		StoreJournalDepth:  stats.JournalDepth,
-		StoreBlobs:         stats.Blobs,
-		StoreBytes:         stats.Bytes,
-		StoreErrors:        errs,
-		StoreRetries:       m.retries.Load(),
-		CheckpointHits:     m.ckptHits.Load(),
-		CheckpointMisses:   m.ckptMisses.Load(),
-		StoreDegraded:      degraded,
-		StoreLastError:     lastErr,
-		StoreLastErrorTime: lastErrAt,
+		Status:                  status,
+		QueueDepth:              depth,
+		QueueCap:                capQ,
+		Workers:                 m.workers,
+		PredictedBacklogSeconds: backlog,
+		QueueDelaySeconds:       delay,
+		JobsShed:                m.shed.Load(),
+		JobsQueued:              queued,
+		JobsRunning:             running,
+		JobsFinished:            finished,
+		Sessions:                m.sessions.size(),
+		SessionCap:              m.sessions.capacity(),
+		ParInUse:                par.InUse(),
+		ParBudget:               par.Budget(),
+		Store:                   m.store.Name(),
+		StoreHits:               m.hits.Load(),
+		StoreMisses:             m.misses.Load(),
+		StoreCoalesced:          m.coalesced.Load(),
+		StoreJournalDepth:       stats.JournalDepth,
+		StoreBlobs:              stats.Blobs,
+		StoreBytes:              stats.Bytes,
+		StoreErrors:             errs,
+		StoreRetries:            m.retries.Load(),
+		CheckpointHits:          m.ckptHits.Load(),
+		CheckpointMisses:        m.ckptMisses.Load(),
+		StoreDegraded:           degraded,
+		StoreLastError:          lastErr,
+		StoreLastErrorTime:      lastErrAt,
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the health
+// counters as scrape-time views plus the per-stage latency histograms
+// and the prediction-error gauge fed by finished jobs.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	// A failed write means the scraper went away; there is no one to tell.
+	_ = s.mgr.met.WriteText(w)
 }
 
 func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
@@ -274,7 +302,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.mgr.newRunJob(req)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, acceptStatus(j), j.envelope())
@@ -287,7 +315,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.mgr.newSweepJob(req)
 	if err != nil {
-		writeError(w, submitStatus(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, acceptStatus(j), j.envelope())
@@ -326,19 +354,38 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitStatus maps a submission error to its HTTP status: shutdown 503,
-// backpressure 429, a failed durability write 500, anything else a client
-// error.
+// backpressure 429, an infeasible deadline 422, a failed durability
+// write 500, anything else a client error.
 func submitStatus(err error) int {
+	var inf *InfeasibleError
 	switch {
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.As(err, &inf):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrStore):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeSubmitError renders a submission rejection. A deadline-infeasible
+// shed carries the server's prediction alongside the error, so the
+// client can resubmit with a feasible deadline (or drop the request)
+// without a second round trip.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var inf *InfeasibleError
+	if errors.As(err, &inf) {
+		writeJSON(w, http.StatusUnprocessableEntity, struct {
+			Error string `json:"error"`
+			*InfeasibleError
+		}{err.Error(), inf})
+		return
+	}
+	writeError(w, submitStatus(err), err)
 }
 
 // decodeBody strictly decodes a JSON request body, rejecting unknown

@@ -106,12 +106,17 @@ func (sc *serviceClient) await(id string, timeout time.Duration) *streamfetch.Jo
 	}
 }
 
-// reportJSON renders a report exactly as the golden tests do.
+// reportJSON renders a report exactly as the golden tests do. Stage
+// timings are wall-clock telemetry the daemon adds, not results: strip
+// them so byte-identity comparisons see only the model's output.
 func reportJSON(t *testing.T, rep *streamfetch.Report) []byte {
 	t.Helper()
 	if rep == nil {
 		t.Fatal("nil report")
 	}
+	clone := *rep
+	clone.Timings = nil
+	rep = &clone
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

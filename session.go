@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"streamfetch/internal/cache"
 	"streamfetch/internal/cfg"
@@ -148,6 +149,11 @@ type Session struct {
 
 	progressEvery uint64
 	onProgress    func(Progress)
+
+	// stageTimings opts the run into per-stage wall-clock collection
+	// (Report.Timings). Off by default so reports stay byte-identical to
+	// their goldens; the daemon turns it on for every job it executes.
+	stageTimings bool
 
 	prep *prepared
 }
@@ -377,6 +383,7 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	if err := run.validate(); err != nil {
 		return nil, err
 	}
+	prepStart := time.Now()
 	lay, err := run.ensure(ctx, run.layoutName)
 	if err != nil {
 		return nil, err
@@ -405,7 +412,9 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
+	measureStart := time.Now()
 	res := proc.Run()
+	measureSecs := time.Since(measureStart).Seconds()
 	if err := src.Close(); err != nil {
 		// A decode error mid-stream looks like a short trace to the sim;
 		// surface it instead of reporting a silently truncated run.
@@ -413,6 +422,12 @@ func (s *Session) RunWith(ctx context.Context, opts ...Option) (*Report, error) 
 	}
 	traceInsts, _ := src.TotalInsts()
 	rep := newReport(run.benchmark, lay, traceInsts, run.reportSeed(), res)
+	if run.stageTimings {
+		rep.Timings = &Timings{
+			PrepareSeconds: measureStart.Sub(prepStart).Seconds(),
+			MeasureSeconds: measureSecs,
+		}
+	}
 	if res.Aborted {
 		if err := ctx.Err(); err != nil {
 			return rep, err

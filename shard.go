@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 
 	"streamfetch/internal/cfg"
 	"streamfetch/internal/ckpt"
@@ -82,6 +83,11 @@ type shardOut struct {
 	// Both false when checkpointing was off or inapplicable.
 	ckptHit  bool
 	ckptMiss bool
+	// Stage wall clock (WithStageTimings only): functional warming up to
+	// the first timed cycle, then the timed simulation. A restored or
+	// unwarmed interval counts entirely as measure.
+	warmSecs    float64
+	measureSecs float64
 }
 
 func (s *Session) runSharded(ctx context.Context) (*Report, error) {
@@ -92,6 +98,7 @@ func (s *Session) runSharded(ctx context.Context) (*Report, error) {
 	if nshards < 1 {
 		nshards = 1
 	}
+	prepStart := time.Now()
 	lay, err := s.ensure(ctx, s.layoutName)
 	if err != nil {
 		return nil, err
@@ -141,8 +148,11 @@ func (s *Session) runSharded(ctx context.Context) (*Report, error) {
 		specs[i] = intervalSpec{index: i, start: bound(i), end: end}
 	}
 
+	prepSecs := time.Since(prepStart).Seconds()
 	outs, runErr := s.runIntervals(ctx, lay, prog, specs, partTotal, nshards)
+	mergeStart := time.Now()
 	rep := s.mergeShards(lay, nshards, outs)
+	s.attachTimings(rep, outs, prepSecs, time.Since(mergeStart).Seconds())
 	if runErr != nil {
 		if rep == nil || ctx.Err() == nil {
 			return nil, runErr
@@ -172,6 +182,7 @@ func (s *Session) runSampled(ctx context.Context) (*Report, error) {
 	if s.sampleInsts == 0 {
 		return nil, fmt.Errorf("streamfetch: sampled runs need a positive window length (WithSampling)")
 	}
+	prepStart := time.Now()
 	lay, err := s.ensure(ctx, s.layoutName)
 	if err != nil {
 		return nil, err
@@ -214,8 +225,11 @@ func (s *Session) runSampled(ctx context.Context) (*Report, error) {
 		}
 	}
 
+	prepSecs := time.Since(prepStart).Seconds()
 	outs, runErr := s.runIntervals(ctx, lay, prog, specs, partTotal, len(specs))
+	mergeStart := time.Now()
 	rep := s.mergeSamples(lay, len(specs), outs)
+	s.attachTimings(rep, outs, prepSecs, time.Since(mergeStart).Seconds())
 	if runErr != nil {
 		if rep == nil || ctx.Err() == nil {
 			return nil, runErr
@@ -300,8 +314,16 @@ func (s *Session) runInterval(ctx context.Context, lay *layout.Layout, prog *cfg
 	}
 	scfg := s.simConfig(ctx, lay, 0, partTotal, spec.index, group)
 	var snapshot []byte
-	if useCkpt {
+	var warmedAt time.Time
+	if useCkpt || s.stageTimings {
+		// One OnWarmed serves both consumers: the timestamp splits the
+		// warmup stage from the measure stage, and (under checkpointing)
+		// the snapshot captures the warm state the prefix just built.
 		scfg.OnWarmed = func(p *sim.Processor) {
+			warmedAt = time.Now()
+			if !useCkpt {
+				return
+			}
 			ws, ok := p.Engine().(frontend.WarmStater)
 			if !ok {
 				return
@@ -315,7 +337,9 @@ func (s *Session) runInterval(ctx context.Context, lay *layout.Layout, prog *cfg
 		iv.Close()
 		return nil, err
 	}
+	runStart := time.Now()
 	res := proc.Run()
+	runSecs := time.Since(runStart).Seconds()
 	if err := iv.Close(); err != nil {
 		return nil, fmt.Errorf("streamfetch: shard %d reading trace: %w", spec.index, err)
 	}
@@ -324,13 +348,21 @@ func (s *Session) runInterval(ctx context.Context, lay *layout.Layout, prog *cfg
 		// fail a run that already has its result.
 		_ = s.ckptStore.PutBlob(key, snapshot)
 	}
-	return &shardOut{
+	out := &shardOut{
 		res:      res,
 		start:    spec.start,
 		measured: iv.MeasuredInsts(),
 		warm:     iv.WarmupInsts(),
 		ckptMiss: useCkpt,
-	}, nil
+	}
+	if s.stageTimings {
+		out.measureSecs = runSecs
+		if !warmedAt.IsZero() {
+			out.warmSecs = warmedAt.Sub(runStart).Seconds()
+			out.measureSecs = runSecs - out.warmSecs
+		}
+	}
+	return out, nil
 }
 
 // runRestored attempts the checkpoint fast path for one interval: load
@@ -383,17 +415,25 @@ func (s *Session) runRestored(ctx context.Context, lay *layout.Layout, prog *cfg
 		iv.Close()
 		return nil, nil
 	}
+	runStart := time.Now()
 	res := proc.Run()
+	runSecs := time.Since(runStart).Seconds()
 	if err := iv.Close(); err != nil {
 		return nil, fmt.Errorf("streamfetch: shard %d reading trace: %w", spec.index, err)
 	}
-	return &shardOut{
+	out := &shardOut{
 		res:      res,
 		start:    spec.start,
 		measured: iv.MeasuredInsts(),
 		warm:     iv.WarmupInsts(),
 		ckptHit:  true,
-	}, nil
+	}
+	if s.stageTimings {
+		// The restore replaced functional warming, so the whole simulation
+		// (timed lead-in included) counts as measure.
+		out.measureSecs = runSecs
+	}
+	return out, nil
 }
 
 // ckptKeySpec is a checkpoint's canonical identity, hashed into its
@@ -591,6 +631,25 @@ func tCrit95(df int) float64 {
 	default:
 		return 1.96
 	}
+}
+
+// attachTimings fills rep.Timings for a sharded or sampled run under
+// WithStageTimings: prepare and merge are elapsed wall clock, warmup and
+// measure are summed across the (parallel) intervals — per-stage
+// work-seconds, which is what the SLO cost model predicts.
+func (s *Session) attachTimings(rep *Report, outs []*shardOut, prepSecs, mergeSecs float64) {
+	if rep == nil || !s.stageTimings {
+		return
+	}
+	tm := &Timings{PrepareSeconds: prepSecs, MergeSeconds: mergeSecs}
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		tm.WarmupSeconds += o.warmSecs
+		tm.MeasureSeconds += o.measureSecs
+	}
+	rep.Timings = tm
 }
 
 // traceTotal returns the partition basis: the logical run's length in CFG
